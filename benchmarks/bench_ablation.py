@@ -1,0 +1,78 @@
+"""Ablation benches for KFC's design choices (DESIGN.md Section 4).
+
+Two knobs the reproduction had to pick without paper pseudo-code:
+
+* ``refine_iterations`` -- the alternating assemble/recenter rounds
+  that couple personalization back into centroid placement.  Zero
+  rounds = the naive two-phase optimizer; the ablation shows the
+  coupling is what moves Equation 1's value.
+* ``candidate_pool`` -- the per-category candidate cap in CI assembly;
+  the ablation confirms the default is large enough that results stop
+  changing (and times how much a larger pool costs).
+"""
+
+import pytest
+
+from repro.core.kfc import KFCBuilder
+from repro.core.objective import evaluate_objective
+from repro.core.query import DEFAULT_QUERY
+from repro.profiles.consensus import ConsensusMethod
+
+
+@pytest.fixture(scope="module")
+def setup(bench_ctx):
+    app = bench_ctx.app("paris")
+    group = bench_ctx.generator(salt=7).uniform_group(5)
+    profile = group.profile(ConsensusMethod.AVERAGE)
+    return app, profile
+
+
+@pytest.mark.parametrize("iterations", [0, 1, 2, 4])
+def test_refine_iterations_ablation(benchmark, setup, iterations):
+    app, profile = setup
+    builder = KFCBuilder(app.dataset, app.item_index, weights=app.weights,
+                         k=5, seed=1, refine_iterations=iterations)
+    package = benchmark.pedantic(builder.build, args=(profile, DEFAULT_QUERY),
+                                 iterations=1, rounds=3)
+    value = evaluate_objective(app.dataset, package, profile,
+                               app.item_index, app.weights)
+    print(f"\nrefine_iterations={iterations}: objective={value:.2f}, "
+          f"R={package.representativity():.2f} km, "
+          f"intra-CI={package.raw_cohesiveness_sum():.2f} km")
+    assert package.is_valid(DEFAULT_QUERY)
+
+
+def test_recentering_improves_objective(setup):
+    """The alternating rounds must not hurt Equation 1."""
+    app, profile = setup
+    values = {}
+    for iterations in (0, 2):
+        builder = KFCBuilder(app.dataset, app.item_index,
+                             weights=app.weights, k=5, seed=1,
+                             refine_iterations=iterations)
+        package = builder.build(profile, DEFAULT_QUERY)
+        values[iterations] = evaluate_objective(
+            app.dataset, package, profile, app.item_index, app.weights
+        )
+    assert values[2] >= values[0] * 0.98
+
+
+@pytest.mark.parametrize("pool", [10, 30, 60, 120])
+def test_candidate_pool_ablation(benchmark, setup, pool):
+    app, profile = setup
+    builder = KFCBuilder(app.dataset, app.item_index, weights=app.weights,
+                         k=5, seed=1, candidate_pool=pool)
+    package = benchmark.pedantic(builder.build, args=(profile, DEFAULT_QUERY),
+                                 iterations=1, rounds=3)
+    assert package.is_valid(DEFAULT_QUERY)
+
+
+def test_candidate_pool_converges(setup):
+    """Past the default pool size the chosen POIs stop changing."""
+    app, profile = setup
+    def ids_for(pool):
+        builder = KFCBuilder(app.dataset, app.item_index,
+                             weights=app.weights, k=5, seed=1,
+                             candidate_pool=pool)
+        return [ci.poi_ids for ci in builder.build(profile, DEFAULT_QUERY)]
+    assert ids_for(60) == ids_for(240)

@@ -1,0 +1,61 @@
+"""Benchmarks for the Section 3.2 distance claim.
+
+The paper: equirectangular is ~30x faster than haversine with <= 0.1%
+precision loss at intra-city scale.  Both implementations are timed
+head-to-head (vectorized), and the error bound is asserted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.cities import get_template
+from repro.experiments import distance_perf
+from repro.geo.distance import equirectangular_km, haversine_km
+
+_N = 200_000
+
+
+@pytest.fixture(scope="module")
+def city_pairs():
+    template = get_template("paris")
+    rng = np.random.default_rng(7)
+    return (
+        rng.uniform(template.south, template.north, _N),
+        rng.uniform(template.west, template.east, _N),
+        rng.uniform(template.south, template.north, _N),
+        rng.uniform(template.west, template.east, _N),
+    )
+
+
+def test_haversine_vectorized(benchmark, city_pairs):
+    lat1, lon1, lat2, lon2 = city_pairs
+    benchmark(haversine_km, lat1, lon1, lat2, lon2)
+
+
+def test_equirectangular_vectorized(benchmark, city_pairs):
+    lat1, lon1, lat2, lon2 = city_pairs
+    benchmark(equirectangular_km, lat1, lon1, lat2, lon2)
+
+
+def test_precision_claim(benchmark, city_pairs):
+    lat1, lon1, lat2, lon2 = city_pairs
+
+    def measure():
+        truth = haversine_km(lat1, lon1, lat2, lon2)
+        approx = equirectangular_km(lat1, lon1, lat2, lon2)
+        mask = truth > 1e-9
+        return float(np.max(np.abs(approx[mask] - truth[mask]) / truth[mask]))
+
+    max_rel_error = benchmark.pedantic(measure, iterations=1, rounds=1)
+    print(f"\nmax relative error: {max_rel_error * 100:.5f}%")
+    assert max_rel_error < 0.001  # the paper's 0.1% bound
+
+
+def test_distance_perf_report(benchmark):
+    result = benchmark.pedantic(distance_perf.run,
+                                kwargs={"n_pairs": 100_000},
+                                iterations=1, rounds=1)
+    print()
+    print(result.render())
+    assert result.vector_speedup > 1.0
+    assert result.max_relative_error < 0.001

@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of Figure 1 (the budgeted 5-day Paris TP)."""
+
+from repro.experiments import figure1
+
+
+def test_figure1_budgeted_package(benchmark, bench_ctx):
+    result = benchmark.pedantic(figure1.run, args=(bench_ctx,),
+                                iterations=1, rounds=1)
+    print()
+    print(result.render())
+
+    assert result.package.k == 5
+    assert result.package.is_valid(result.query)
+    for ci in result.package:
+        assert ci.total_cost() <= result.query.budget

@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of Figure 3 (customization operators)."""
+
+from repro.experiments import figure3
+
+
+def test_figure3_customization_operators(benchmark, bench_ctx):
+    result = benchmark.pedantic(figure3.run, args=(bench_ctx,),
+                                iterations=1, rounds=1)
+    print()
+    print(result.render())
+
+    # All four operators appeared and the package gained the GENERATE CI.
+    kinds = {entry.split("(")[0] for entry in result.log}
+    assert {"REMOVE", "ADD", "REPLACE", "GENERATE"} <= kinds
+    assert result.after.k == result.before.k + 1

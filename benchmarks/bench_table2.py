@@ -1,0 +1,30 @@
+"""Benchmark + regeneration of Table 2 (synthetic experiment).
+
+The sweep is the paper's main synthetic workload: groups x sizes x
+consensus methods, one Travel Package each, measured on the three
+optimization dimensions.  The benchmark times one full sweep; the
+rendered table is printed so running with ``-s`` reproduces the paper
+artifact.
+"""
+
+from repro.experiments import table2
+from repro.experiments.synthetic_sweep import run_sweep
+
+
+def test_table2_sweep(benchmark, bench_ctx):
+    sweep = benchmark.pedantic(run_sweep, args=(bench_ctx,),
+                               iterations=1, rounds=1)
+    result = table2.run(bench_ctx, sweep=sweep)
+    print()
+    print(result.render())
+
+    # Shape assertions from the paper's Section 4.3.2 narrative:
+    # disagreement-based methods lead, least misery trails.
+    for uniform in (True, False):
+        for size in bench_ctx.config.sizes:
+            ad = result.cells[(uniform, size, "pairwise_disagreement")]
+            dv = result.cells[(uniform, size, "disagreement_variance")]
+            lm = result.cells[(uniform, size, "least_misery")]
+            best_rc = max(ad["R"] + ad["C"], dv["R"] + dv["C"])
+            assert best_rc >= lm["R"] + lm["C"] - 0.35
+    assert result.anova["P"].significant

@@ -1,0 +1,21 @@
+"""Benchmark + regeneration of Table 3 (median-user agreement)."""
+
+from repro.experiments import table3
+from repro.experiments.synthetic_sweep import run_sweep
+
+
+def test_table3_median_agreement(benchmark, bench_ctx):
+    sweep = run_sweep(bench_ctx)
+    result = benchmark.pedantic(table3.run, args=(bench_ctx, sweep),
+                                iterations=1, rounds=1)
+    print()
+    print(result.render())
+
+    # Section 4.3.3: agreement degrades as (non-uniform) groups grow --
+    # individual preferences fade out in large groups.
+    for method in ("average", "pairwise_disagreement"):
+        small = result.cells[(False, "small", method)]
+        large = result.cells[(False, "large", method)]
+        small_score = sum(small.values())
+        large_score = sum(large.values())
+        assert large_score <= small_score + 0.45

@@ -1,0 +1,20 @@
+"""Benchmark + regeneration of Table 4 (user study, independent)."""
+
+from repro.experiments import table4
+from repro.experiments.user_study import run_user_study
+
+
+def test_table4_independent_evaluation(benchmark, bench_ctx):
+    study = benchmark.pedantic(run_user_study, args=(bench_ctx,),
+                               iterations=1, rounds=1)
+    result = table4.run(bench_ctx, study=study)
+    print()
+    print(result.render())
+
+    # Section 4.4.3: personalized packages are liked better than the
+    # random and non-personalized ones.
+    for (uniform, size), cell in study.cells.items():
+        best_personalized = max(cell.mean_ratings[l]
+                                for l in ("AVTP", "LMTP", "ADTP", "DVTP"))
+        assert best_personalized > cell.mean_ratings["random"]
+        assert best_personalized > cell.mean_ratings["NPTP"] - 0.05

@@ -1,0 +1,22 @@
+"""Benchmark + regeneration of Table 5 (user study, comparative)."""
+
+from repro.experiments import table5
+from repro.experiments.user_study import run_user_study
+
+
+def test_table5_comparative_evaluation(benchmark, bench_ctx):
+    study = run_user_study(bench_ctx)
+
+    def derive():
+        return table5.run(bench_ctx, study=study)
+
+    result = benchmark.pedantic(derive, iterations=1, rounds=1)
+    print()
+    print(result.render())
+
+    # Section 4.4.3: personalized variants dominate the
+    # non-personalized package for uniform groups.
+    for size in bench_ctx.config.sizes:
+        cell = study.cells[(True, size)]
+        assert cell.supremacy[("AVTP", "NPTP")] > 50.0
+        assert cell.supremacy[("LMTP", "NPTP")] > 50.0

@@ -1,0 +1,20 @@
+"""Benchmark + regeneration of Table 7 (customization, comparative)."""
+
+from repro.experiments import table7
+from repro.experiments.customization_study import run_customization_study
+
+
+def test_table7_strategy_comparison(benchmark, bench_ctx):
+    study = run_customization_study(bench_ctx)
+
+    def derive():
+        return table7.run(bench_ctx, study=study)
+
+    result = benchmark.pedantic(derive, iterations=1, rounds=1)
+    print()
+    print(result.render())
+
+    # Supremacy percentages are well-formed for every pair.
+    for uniform in (True, False):
+        for value in study.cells[uniform].supremacy.values():
+            assert 0.0 <= value <= 100.0

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index).  Two context scales are provided:
+
+* ``bench_ctx`` -- a reduced-but-representative configuration so the
+  whole suite completes in minutes.  Set ``GROUPTRAVEL_BENCH_FULL=1``
+  to run at the paper's full scale (100 groups per cell, group size
+  100, full city volumes).
+* The printed tables come from the same runners the CLI uses, so
+  ``pytest benchmarks/ --benchmark-only -s`` shows the reproduced
+  artifacts alongside the timings.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.context import ExperimentConfig, ExperimentContext
+
+
+def _bench_config() -> ExperimentConfig:
+    if os.environ.get("GROUPTRAVEL_BENCH_FULL"):
+        return ExperimentConfig()
+    # Reduced sweep: same code paths, fraction of the wall-clock.
+    return ExperimentConfig(scale=0.5, n_groups=10, lda_iterations=60,
+                            sizes={"small": 5, "medium": 10, "large": 40})
+
+
+@pytest.fixture(scope="session")
+def bench_ctx() -> ExperimentContext:
+    """One shared context: the city and LDA fits are built once."""
+    ctx = ExperimentContext(_bench_config())
+    # Pre-warm the expensive city/LDA setup so benchmarks time the
+    # experiment itself rather than fixture construction.
+    ctx.app("paris")
+    return ctx

@@ -1,0 +1,62 @@
+"""Consensus showdown: how aggregation choice shapes group packages.
+
+Builds packages for a uniform and a non-uniform group under all four
+consensus functions and measures the paper's three optimization
+dimensions plus per-member fit -- a miniature, single-run version of
+the Table 2 sweep with commentary.
+
+    python examples/consensus_showdown.py
+"""
+
+import numpy as np
+
+from repro.core import DEFAULT_QUERY, GroupTravel
+from repro.data import generate_city
+from repro.metrics import group_uniformity
+from repro.metrics.similarity import cosine
+from repro.profiles import ConsensusMethod, GroupGenerator
+
+
+def member_fit(package, group, item_index) -> float:
+    """Mean cosine between members' own tastes and the package items."""
+    pois = package.all_pois()
+    fits = []
+    for member in group.members:
+        fits.append(np.mean([
+            cosine(item_index.vector(p), member.vector(p.cat)) for p in pois
+        ]))
+    return float(np.mean(fits))
+
+
+def main() -> None:
+    city = generate_city("paris", seed=19)
+    app = GroupTravel(city, seed=19)
+    generator = GroupGenerator(app.schema, seed=23)
+
+    groups = {
+        "uniform": generator.uniform_group(8),
+        "non-uniform": generator.non_uniform_group(8),
+    }
+    for label, group in groups.items():
+        print(f"== {label} group "
+              f"(uniformity {group_uniformity(group):.2f})")
+        print(f"{'consensus':>24s}  {'R(km)':>7s}  {'intra-CI(km)':>12s}  "
+              f"{'P':>6s}  {'member fit':>10s}")
+        for method in ConsensusMethod:
+            profile = app.group_profile(group, method)
+            package = app.build_for_profile(profile, DEFAULT_QUERY)
+            print(f"{method.short_label:>24s}  "
+                  f"{package.representativity():7.2f}  "
+                  f"{package.raw_cohesiveness_sum():12.2f}  "
+                  f"{package.personalization(profile, app.item_index):6.2f}  "
+                  f"{member_fit(package, group, app.item_index):10.3f}")
+        print()
+
+    print("Reading guide: for the non-uniform group, least misery")
+    print("degenerates (disjoint tastes min out at zero), while the")
+    print("disagreement-based methods keep geometry strong -- the")
+    print("paper's Table 2 story in one run.")
+
+
+if __name__ == "__main__":
+    main()

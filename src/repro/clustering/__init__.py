@@ -1,0 +1,12 @@
+"""Clustering substrate: fuzzy c-means.
+
+The KFC algorithm (Section 3.2) positions ``k`` centroids over a city
+with *fuzzy* clustering so that a POI may participate in several
+Composite Items (a hotel shared across days, a museum visited twice).
+:mod:`repro.clustering.fuzzy_cmeans` implements the Bezdek fuzzy
+c-means algorithm from scratch on numpy.
+"""
+
+from repro.clustering.fuzzy_cmeans import FuzzyCMeans, FuzzyCMeansResult
+
+__all__ = ["FuzzyCMeans", "FuzzyCMeansResult"]

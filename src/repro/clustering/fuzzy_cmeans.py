@@ -1,0 +1,167 @@
+"""Fuzzy c-means clustering (Bezdek, 1984), from scratch.
+
+Fuzzy c-means generalizes k-means by letting every point belong to every
+cluster with a membership weight.  Given points ``X`` and a fuzzifier
+``m > 1`` it alternates
+
+* membership update:
+  ``w_ij = 1 / sum_l (d_ij / d_il)^(2/(m-1))``
+* centroid update:
+  ``mu_j = sum_i w_ij^m x_i / sum_i w_ij^m``
+
+until centroids move less than a tolerance.  Memberships per point sum
+to one -- the constraint in the paper's Equation 1.
+
+The paper writes the fuzzifier as ``f <= 1``; standard FCM requires the
+exponent to exceed 1 (at ``m -> 1`` the memberships degenerate to hard
+assignment and the update divides by zero), so we expose ``m`` with the
+conventional default of 2 and document the deviation in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FuzzyCMeansResult:
+    """Output of a fuzzy c-means run.
+
+    Attributes:
+        centroids: ``(k, d)`` array of cluster centres.
+        memberships: ``(n, k)`` weight matrix; rows sum to 1.
+        n_iterations: Iterations executed before convergence (or cap).
+        objective: Final value of the weighted within-cluster distance
+            objective ``sum_ij w_ij^m ||x_i - mu_j||^2`` (lower is better).
+    """
+
+    centroids: np.ndarray
+    memberships: np.ndarray
+    n_iterations: int
+    objective: float
+
+    def hard_assignments(self) -> np.ndarray:
+        """Arg-max cluster index per point (for diagnostics only)."""
+        return np.argmax(self.memberships, axis=1)
+
+
+class FuzzyCMeans:
+    """Fuzzy c-means estimator.
+
+    Args:
+        n_clusters: Number of clusters ``k``.
+        m: Fuzzifier exponent, strictly greater than 1.
+        max_iterations: Cap on alternation rounds.
+        tol: Convergence threshold on the largest centroid displacement.
+        seed: Seed for centroid initialization.
+    """
+
+    def __init__(self, n_clusters: int, m: float = 2.0,
+                 max_iterations: int = 300, tol: float = 1e-6,
+                 seed: int = 0) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be at least 1")
+        if m <= 1.0:
+            raise ValueError(
+                "fuzzifier m must be > 1 (the paper's f <= 1 degenerates "
+                "to hard clustering; see DESIGN.md)"
+            )
+        self.n_clusters = n_clusters
+        self.m = m
+        self.max_iterations = max_iterations
+        self.tol = tol
+        self.seed = seed
+
+    def fit(self, points: np.ndarray) -> FuzzyCMeansResult:
+        """Cluster ``points`` (an ``(n, d)`` array).
+
+        ``n`` must be at least ``n_clusters``.  Initialization picks
+        distinct points as starting centroids (a k-means++-style spread
+        pick), which is robust for geographic data.
+        """
+        x = np.asarray(points, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"expected an (n, d) array, got shape {x.shape}")
+        n = len(x)
+        if n < self.n_clusters:
+            raise ValueError(
+                f"need at least {self.n_clusters} points, got {n}"
+            )
+        rng = np.random.default_rng(self.seed)
+        centroids = self._init_centroids(x, rng)
+        exponent = 2.0 / (self.m - 1.0)
+
+        n_iter = 0
+        memberships = self._memberships(x, centroids, exponent)
+        for n_iter in range(1, self.max_iterations + 1):
+            weights = memberships ** self.m
+            denom = weights.sum(axis=0)
+            # Guard against empty (zero-weight) clusters: re-seed them on
+            # the point currently worst-covered by all centroids.
+            dead = denom <= 1e-12
+            if dead.any():
+                coverage = memberships.max(axis=1)
+                for j in np.flatnonzero(dead):
+                    centroids[j] = x[int(np.argmin(coverage))]
+                memberships = self._memberships(x, centroids, exponent)
+                weights = memberships ** self.m
+                denom = weights.sum(axis=0)
+            new_centroids = (weights.T @ x) / denom[:, None]
+            shift = float(np.linalg.norm(new_centroids - centroids, axis=1).max())
+            centroids = new_centroids
+            memberships = self._memberships(x, centroids, exponent)
+            if shift < self.tol:
+                break
+
+        sq_dist = self._sq_distances(x, centroids)
+        objective = float(((memberships ** self.m) * sq_dist).sum())
+        return FuzzyCMeansResult(
+            centroids=centroids,
+            memberships=memberships,
+            n_iterations=n_iter,
+            objective=objective,
+        )
+
+    def _init_centroids(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++-style initialization: spread starting centroids out."""
+        n = len(x)
+        first = int(rng.integers(n))
+        chosen = [first]
+        for _ in range(1, self.n_clusters):
+            dists = np.min(
+                ((x[:, None, :] - x[chosen][None, :, :]) ** 2).sum(axis=2), axis=1
+            )
+            total = dists.sum()
+            if total <= 0:
+                # All remaining points coincide with chosen centroids.
+                remaining = [i for i in range(n) if i not in chosen]
+                chosen.append(remaining[0] if remaining else first)
+                continue
+            chosen.append(int(rng.choice(n, p=dists / total)))
+        return x[chosen].astype(float).copy()
+
+    @staticmethod
+    def _sq_distances(x: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """``(n, k)`` squared Euclidean distances to centroids."""
+        diff = x[:, None, :] - centroids[None, :, :]
+        return (diff ** 2).sum(axis=2)
+
+    def _memberships(self, x: np.ndarray, centroids: np.ndarray,
+                     exponent: float) -> np.ndarray:
+        """FCM membership update; rows sum to one.
+
+        Points coinciding with a centroid get full membership there
+        (split evenly if they coincide with several).
+        """
+        sq = self._sq_distances(x, centroids)
+        zero_rows = np.isclose(sq, 0.0).any(axis=1)
+        safe = np.maximum(sq, 1e-300)
+        ratio = safe[:, :, None] / safe[:, None, :]
+        memberships = 1.0 / (ratio ** (exponent / 2.0)).sum(axis=2)
+        if zero_rows.any():
+            for i in np.flatnonzero(zero_rows):
+                hits = np.isclose(sq[i], 0.0)
+                memberships[i] = hits / hits.sum()
+        return memberships

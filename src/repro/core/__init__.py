@@ -1,0 +1,53 @@
+"""GroupTravel core: the paper's primary contribution.
+
+Given a city's POIs, a group of travelers and a *group query*, build a
+personalized Travel Package -- ``k`` valid, representative, cohesive,
+personalized Composite Items -- and let the group customize it.
+
+Public surface:
+
+* :class:`~repro.core.query.GroupQuery` -- ⟨#acco, #trans, #rest, #attr, B⟩;
+* :class:`~repro.core.composite.CompositeItem` and
+  :class:`~repro.core.package.TravelPackage`;
+* :class:`~repro.core.kfc.KFCBuilder` -- the fuzzy-clustering TP
+  constructor optimizing Equation 1;
+* :class:`~repro.core.builder.GroupTravel` -- the one-stop facade;
+* :mod:`repro.core.baselines` -- random / invalid / non-personalized /
+  median-user packages for the evaluation;
+* :mod:`repro.core.customize` -- the REMOVE / ADD / REPLACE / GENERATE
+  operators and the interaction log;
+* :mod:`repro.core.refine` -- individual and batch profile refinement.
+"""
+
+from repro.core.baselines import (
+    invalid_random_package,
+    non_personalized_package,
+    random_package,
+)
+from repro.core.builder import GroupTravel
+from repro.core.composite import CompositeItem
+from repro.core.customize import CustomizationSession, Interaction, InteractionKind
+from repro.core.kfc import KFCBuilder
+from repro.core.objective import ObjectiveWeights, evaluate_objective
+from repro.core.package import TravelPackage
+from repro.core.query import DEFAULT_QUERY, GroupQuery
+from repro.core.refine import refine_batch, refine_individual
+
+__all__ = [
+    "CompositeItem",
+    "CustomizationSession",
+    "DEFAULT_QUERY",
+    "GroupQuery",
+    "GroupTravel",
+    "Interaction",
+    "InteractionKind",
+    "KFCBuilder",
+    "ObjectiveWeights",
+    "TravelPackage",
+    "evaluate_objective",
+    "invalid_random_package",
+    "non_personalized_package",
+    "random_package",
+    "refine_batch",
+    "refine_individual",
+]

@@ -1,0 +1,194 @@
+"""Valid Composite-Item assembly around a centroid.
+
+Given a centroid, a query and a group profile, pick the POIs that
+maximize the per-CI part of Equation 1,
+
+    beta * sum (1 - dist(i, mu)) + gamma * sum cos(item_i, g),
+
+subject to validity: exact category counts and total cost within budget.
+The same routine powers both the KFC optimizer (one CI per fuzzy
+centroid) and the ``GENERATE(RECTANGLE)`` customization operator (one CI
+at a user-chosen location).
+
+Strategy: score all candidates per category, greedily fill each
+category's slots with the best-scoring items, then -- if the budget is
+violated -- repair with swaps that save the most cost per unit of score
+given up.  Greedy-with-repair is exact when the budget is slack (the
+experiments run with an infinite budget) and a strong heuristic when it
+binds; a final cheapest-fill fallback guarantees we find *a* valid CI
+whenever one exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.composite import CompositeItem
+from repro.core.query import GroupQuery
+from repro.data.dataset import POIDataset
+from repro.data.poi import POI, Category
+from repro.geo.distance import equirectangular_km
+from repro.profiles.group import GroupProfile
+from repro.profiles.vectors import ItemVectorIndex
+
+
+class InfeasibleQueryError(ValueError):
+    """Raised when no valid CI exists: a category lacks POIs, or even the
+    cheapest conforming selection exceeds the budget."""
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """A scored candidate POI for one CI."""
+
+    poi: POI
+    score: float
+
+    @property
+    def cost(self) -> float:
+        return self.poi.cost
+
+
+def score_candidates(pois: tuple[POI, ...], centroid: tuple[float, float],
+                     profile: GroupProfile, item_index: ItemVectorIndex,
+                     beta: float, gamma: float,
+                     max_distance_km: float) -> list[_Candidate]:
+    """Score same-category POIs against a centroid and profile.
+
+    ``score = beta * (1 - dist_norm) + gamma * cos(item, g_cat)`` --
+    exactly the per-item contribution of Equation 1's CI term.
+    """
+    if not pois:
+        return []
+    lats = np.array([p.lat for p in pois])
+    lons = np.array([p.lon for p in pois])
+    dist = equirectangular_km(lats, lons, centroid[0], centroid[1])
+    if max_distance_km > 0:
+        dist = dist / max_distance_km
+    closeness = 1.0 - np.clip(dist, 0.0, 1.0)
+
+    profile_vec = profile.vector(pois[0].cat)
+    norm_g = float(np.linalg.norm(profile_vec))
+    vectors = item_index.matrix(list(pois))
+    norms = np.linalg.norm(vectors, axis=1)
+    if norm_g == 0.0:
+        sims = np.zeros(len(pois))
+    else:
+        safe = np.where(norms == 0.0, 1.0, norms)
+        sims = (vectors @ profile_vec) / (safe * norm_g)
+        sims[norms == 0.0] = 0.0
+    total = beta * closeness + gamma * sims
+    return [_Candidate(poi=poi, score=float(s)) for poi, s in zip(pois, total)]
+
+
+def assemble_composite_item(dataset: POIDataset, centroid: tuple[float, float],
+                            query: GroupQuery, profile: GroupProfile,
+                            item_index: ItemVectorIndex,
+                            beta: float = 1.0, gamma: float = 1.0,
+                            candidate_pool: int = 60) -> CompositeItem:
+    """Build the best valid CI around ``centroid``.
+
+    Args:
+        dataset: The city's POIs.
+        centroid: ``(lat, lon)`` to anchor the CI.
+        query: Validity specification.
+        profile: Group profile for the personalization term.
+        item_index: Item vectors matching the profile's schema.
+        beta, gamma: Equation 1's CI-term weights.
+        candidate_pool: Per category, only the top-scoring (and, under a
+            finite budget, the cheapest) candidates of this many are
+            considered -- a large pool at city scale, bounded for speed.
+
+    Raises:
+        InfeasibleQueryError: If no valid CI exists for this query.
+    """
+    per_category: dict[Category, list[_Candidate]] = {}
+    for cat in query.requested_categories():
+        needed = query.count(cat)
+        pois = dataset.by_category(cat)
+        if len(pois) < needed:
+            raise InfeasibleQueryError(
+                f"query needs {needed} {cat.value} POIs but the dataset "
+                f"has only {len(pois)}"
+            )
+        scored = score_candidates(pois, centroid, profile, item_index,
+                                  beta, gamma, dataset.max_distance_km)
+        scored.sort(key=lambda c: (-c.score, c.poi.id))
+        pool = scored[:candidate_pool]
+        if query.has_budget:
+            # Keep cheap candidates reachable for the repair phase.
+            cheapest = sorted(scored, key=lambda c: (c.cost, c.poi.id))[:candidate_pool]
+            seen = {c.poi.id for c in pool}
+            pool += [c for c in cheapest if c.poi.id not in seen]
+        per_category[cat] = pool
+
+    # Cheapest conforming selection bounds feasibility.
+    if query.has_budget:
+        floor = sum(
+            sum(sorted(c.cost for c in pool)[: query.count(cat)])
+            for cat, pool in per_category.items()
+        )
+        if floor > query.budget:
+            raise InfeasibleQueryError(
+                f"even the cheapest valid CI costs {floor:.2f}, over the "
+                f"budget {query.budget:.2f}"
+            )
+
+    # Greedy fill: best-scoring items per category.
+    selected: dict[Category, list[_Candidate]] = {
+        cat: pool[: query.count(cat)] for cat, pool in per_category.items()
+    }
+
+    if query.has_budget:
+        _repair_budget(selected, per_category, query)
+
+    pois = [c.poi for pool in selected.values() for c in pool]
+    return CompositeItem(pois, centroid=centroid)
+
+
+def _repair_budget(selected: dict[Category, list[_Candidate]],
+                   per_category: dict[Category, list[_Candidate]],
+                   query: GroupQuery) -> None:
+    """Swap items for cheaper same-category alternatives until the CI
+    fits the budget.
+
+    Each round applies the swap saving the most cost per unit of score
+    lost.  Terminates: every swap strictly reduces total cost, and the
+    cheapest conforming selection (already verified feasible) is
+    reachable through such swaps.
+    """
+    def total_cost() -> float:
+        return sum(c.cost for pool in selected.values() for c in pool)
+
+    while total_cost() > query.budget:
+        best: tuple[float, Category, int, _Candidate] | None = None
+        for cat, chosen in selected.items():
+            chosen_ids = {c.poi.id for c in chosen}
+            for slot, current in enumerate(chosen):
+                for alt in per_category[cat]:
+                    if alt.poi.id in chosen_ids or alt.cost >= current.cost:
+                        continue
+                    saving = current.cost - alt.cost
+                    loss = max(current.score - alt.score, 0.0)
+                    ratio = saving / (loss + 1e-9)
+                    if best is None or ratio > best[0]:
+                        best = (ratio, cat, slot, alt)
+        if best is None:
+            # No cheaper alternative anywhere: fall back to the cheapest
+            # conforming selection outright (known feasible).
+            for cat, pool in per_category.items():
+                cheapest = sorted(pool, key=lambda c: (c.cost, c.poi.id))
+                picked: list[_Candidate] = []
+                used: set[int] = set()
+                for cand in cheapest:
+                    if cand.poi.id not in used:
+                        picked.append(cand)
+                        used.add(cand.poi.id)
+                    if len(picked) == query.count(cat):
+                        break
+                selected[cat] = picked
+            return
+        _, cat, slot, alt = best
+        selected[cat][slot] = alt

@@ -1,0 +1,210 @@
+"""Collaboration models for group customization (Section 6, future work).
+
+The paper closes by sketching how groups could *coordinate* their
+customization requests instead of editing free-for-all:
+
+* the **star** model -- a designated moderator reviews every request
+  from the other members and applies only those they approve;
+* the **sequential** model -- the package is customized in a pipeline,
+  each member taking one editing turn over the latest state;
+* the **hybrid** model -- members submit requests in parallel; rounds
+  of non-conflicting requests are applied together, conflicts resolved
+  by priority.
+
+This module implements all three over the same
+:class:`~repro.core.customize.CustomizationSession` machinery, so the
+refinement strategies consume their interaction logs unchanged.  A
+*request* is a deferred operation (who wants to do what); a *model*
+decides which requests reach the session and in what order.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.customize import CustomizationSession, InteractionKind
+from repro.data.poi import POI
+from repro.geo.rectangle import Rectangle
+
+
+@dataclass(frozen=True)
+class CustomizationRequest:
+    """One member's deferred customization wish.
+
+    Attributes:
+        actor: The requesting member's index.
+        kind: Which operator to apply.
+        ci_index: Target CI (ignored for GENERATE).
+        poi_id: POI to remove/replace (REMOVE and REPLACE only).
+        poi: POI to add (ADD only).
+        rectangle: Swept area (GENERATE only).
+    """
+
+    actor: int
+    kind: InteractionKind
+    ci_index: int = 0
+    poi_id: int | None = None
+    poi: POI | None = None
+    rectangle: Rectangle | None = None
+
+    def __post_init__(self) -> None:
+        needs = {
+            InteractionKind.REMOVE: self.poi_id is not None,
+            InteractionKind.ADD: self.poi is not None,
+            InteractionKind.REPLACE: self.poi_id is not None,
+            InteractionKind.GENERATE: self.rectangle is not None,
+        }
+        if not needs[self.kind]:
+            raise ValueError(f"request {self.kind.value} is missing its operand")
+
+    def conflicts_with(self, other: "CustomizationRequest") -> bool:
+        """Two requests conflict when they touch the same POI of the
+        same CI (e.g. one member removes what another replaces)."""
+        if self.kind is InteractionKind.GENERATE or \
+                other.kind is InteractionKind.GENERATE:
+            return False
+        if self.ci_index != other.ci_index:
+            return False
+        mine = self.poi_id if self.poi_id is not None else (
+            self.poi.id if self.poi else None)
+        theirs = other.poi_id if other.poi_id is not None else (
+            other.poi.id if other.poi else None)
+        return mine is not None and mine == theirs
+
+
+@dataclass
+class RequestOutcome:
+    """What happened to one request."""
+
+    request: CustomizationRequest
+    applied: bool
+    reason: str = ""
+
+
+def _apply(session: CustomizationSession,
+           request: CustomizationRequest) -> RequestOutcome:
+    """Apply one request to the session, reporting failures instead of
+    raising (a stale request is a normal collaboration outcome)."""
+    try:
+        if request.kind is InteractionKind.REMOVE:
+            session.remove(request.ci_index, request.poi_id,
+                           actor=request.actor)
+        elif request.kind is InteractionKind.ADD:
+            session.add(request.ci_index, request.poi, actor=request.actor)
+        elif request.kind is InteractionKind.REPLACE:
+            session.replace(request.ci_index, request.poi_id,
+                            actor=request.actor)
+        else:
+            session.generate(request.rectangle, actor=request.actor)
+    except (KeyError, ValueError, StopIteration) as error:
+        return RequestOutcome(request, applied=False,
+                              reason=f"stale request: {error}")
+    return RequestOutcome(request, applied=True)
+
+
+class CollaborationModel(str, enum.Enum):
+    """The three coordination schemes of the paper's future work."""
+
+    STAR = "star"
+    SEQUENTIAL = "sequential"
+    HYBRID = "hybrid"
+
+
+def run_star(session: CustomizationSession,
+             requests: Iterable[CustomizationRequest],
+             moderator: Callable[[CustomizationRequest], bool],
+             moderator_actor: int | None = None) -> list[RequestOutcome]:
+    """The star model: every request passes through a moderator.
+
+    Args:
+        session: The shared editing session.
+        requests: Member requests, in arrival order.
+        moderator: Approval predicate; rejected requests are recorded
+            but never touch the package.
+        moderator_actor: The moderator's own requests (matching this
+            actor index) bypass approval, as the paper's "designated
+            traveler [who] moderates all requests from others" implies.
+    """
+    outcomes = []
+    for request in requests:
+        own = moderator_actor is not None and request.actor == moderator_actor
+        if own or moderator(request):
+            outcomes.append(_apply(session, request))
+        else:
+            outcomes.append(RequestOutcome(request, applied=False,
+                                           reason="rejected by moderator"))
+    return outcomes
+
+
+def run_sequential(session: CustomizationSession,
+                   turns: Sequence[Sequence[CustomizationRequest]]) -> list[RequestOutcome]:
+    """The sequential model: members edit in a pipeline, one turn each.
+
+    Args:
+        turns: One request batch per member, applied in order; each
+            member sees the package state their predecessors left.
+    """
+    outcomes = []
+    for turn in turns:
+        for request in turn:
+            outcomes.append(_apply(session, request))
+    return outcomes
+
+
+def run_hybrid(session: CustomizationSession,
+               requests: Sequence[CustomizationRequest],
+               priority: Callable[[CustomizationRequest], float] | None = None) -> list[RequestOutcome]:
+    """The hybrid model: parallel requests, conflict-resolved rounds.
+
+    All requests arrive at once; conflicting pairs (same POI of the same
+    CI) are resolved by ``priority`` (default: arrival order), losers
+    are dropped with a recorded reason, and the surviving round is
+    applied together.
+    """
+    order = sorted(
+        range(len(requests)),
+        key=lambda i: (-(priority(requests[i]) if priority else -i),),
+    )
+    accepted: list[int] = []
+    outcomes_by_index: dict[int, RequestOutcome] = {}
+    for i in order:
+        request = requests[i]
+        clash = next(
+            (j for j in accepted if request.conflicts_with(requests[j])), None
+        )
+        if clash is not None:
+            outcomes_by_index[i] = RequestOutcome(
+                request, applied=False,
+                reason=f"conflicts with request #{clash}",
+            )
+            continue
+        accepted.append(i)
+    for i in sorted(accepted):
+        outcomes_by_index[i] = _apply(session, requests[i])
+    return [outcomes_by_index[i] for i in range(len(requests))]
+
+
+def run_collaboration(model: CollaborationModel | str,
+                      session: CustomizationSession,
+                      requests: Sequence[CustomizationRequest],
+                      **kwargs) -> list[RequestOutcome]:
+    """Dispatch to one of the three models.
+
+    ``STAR`` expects a ``moderator`` keyword; ``SEQUENTIAL`` groups the
+    flat request list into per-actor turns (stable order of first
+    appearance); ``HYBRID`` takes an optional ``priority``.
+    """
+    model = CollaborationModel(model)
+    if model is CollaborationModel.STAR:
+        return run_star(session, requests, **kwargs)
+    if model is CollaborationModel.SEQUENTIAL:
+        actors: list[int] = []
+        for request in requests:
+            if request.actor not in actors:
+                actors.append(request.actor)
+        turns = [[r for r in requests if r.actor == actor]
+                 for actor in actors]
+        return run_sequential(session, turns)
+    return run_hybrid(session, requests, **kwargs)

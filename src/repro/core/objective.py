@@ -1,0 +1,122 @@
+"""The travel-package objective function (Equation 1).
+
+    argmax_{M, W}   alpha * sum_j sum_i w_ij^f * (1 - dist(i, mu_j))
+                  + sum_j max_{CI_j in V} [ beta  * sum_{i in CI_j} (1 - dist(i, mu_j))
+                                          + gamma * sum_{i in CI_j} cos(item_i, g) ]
+    subject to      sum_j w_ij = 1  for every item i
+
+where ``dist`` is the *normalized* equirectangular distance (divided by
+the largest observed distance, Section 3.2), ``M`` the ``k`` centroids,
+``W`` the fuzzy membership matrix, and ``g`` the group profile.
+
+This module only *evaluates* the objective for a candidate package; the
+optimizer lives in :mod:`repro.core.kfc`.  Keeping evaluation separate
+lets tests assert that KFC's output scores higher than baselines without
+trusting the optimizer's own bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.package import TravelPackage
+from repro.data.dataset import POIDataset
+from repro.geo.distance import equirectangular_km
+from repro.metrics.similarity import cosine
+from repro.profiles.group import GroupProfile
+from repro.profiles.vectors import ItemVectorIndex
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """The user-dependent weights of Equation 1.
+
+    Attributes:
+        alpha: Weight of the fuzzy-clustering (representativity) term.
+        beta: Weight of the CI-to-centroid proximity (cohesiveness) term.
+        gamma: Weight of the personalization term.
+        fuzzifier: FCM weighting exponent applied to memberships in the
+            first term (the paper's ``f``; see DESIGN.md on ``f <= 1``).
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    gamma: float = 1.0
+    fuzzifier: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta", "gamma"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+def fuzzy_memberships(distances: np.ndarray, fuzzifier: float = 2.0) -> np.ndarray:
+    """FCM membership weights from an ``(n, k)`` distance matrix.
+
+    ``w_ij = 1 / sum_l (d_ij / d_il)^(2/(m-1))``; rows sum to one.
+    Items coinciding with a centroid get full membership there.
+    """
+    if fuzzifier <= 1.0:
+        raise ValueError("fuzzifier must be > 1")
+    d = np.asarray(distances, dtype=float)
+    zero_rows = np.isclose(d, 0.0).any(axis=1)
+    safe = np.maximum(d, 1e-300)
+    exponent = 2.0 / (fuzzifier - 1.0)
+    ratio = safe[:, :, None] / safe[:, None, :]
+    memberships = 1.0 / (ratio ** exponent).sum(axis=2)
+    if zero_rows.any():
+        for i in np.flatnonzero(zero_rows):
+            hits = np.isclose(d[i], 0.0)
+            memberships[i] = hits / hits.sum()
+    return memberships
+
+
+def normalized_distances_to_centroids(dataset: POIDataset,
+                                      centroids: np.ndarray) -> np.ndarray:
+    """``(n_items, k)`` equirectangular distances scaled by the dataset's
+    largest pairwise distance (the paper's normalizer)."""
+    coords = dataset.coordinates()
+    cents = np.asarray(centroids, dtype=float)
+    dist = equirectangular_km(
+        coords[:, 0][:, None], coords[:, 1][:, None],
+        cents[:, 0][None, :], cents[:, 1][None, :],
+    )
+    largest = dataset.max_distance_km
+    if largest > 0:
+        dist = dist / largest
+    return np.clip(dist, 0.0, None)
+
+
+def evaluate_objective(dataset: POIDataset, package: TravelPackage,
+                       profile: GroupProfile, item_index: ItemVectorIndex,
+                       weights: ObjectiveWeights = ObjectiveWeights()) -> float:
+    """The value of Equation 1 for a candidate package.
+
+    The membership matrix ``W`` is reconstructed from the package's
+    centroids with the standard FCM update (the optimal ``W`` for fixed
+    ``M``), so the score depends only on the package itself.
+    """
+    centroids = package.centroids()
+    dist = normalized_distances_to_centroids(dataset, centroids)
+    closeness = 1.0 - np.clip(dist, 0.0, 1.0)
+
+    memberships = fuzzy_memberships(dist, weights.fuzzifier)
+    clustering_term = float(
+        ((memberships ** weights.fuzzifier) * closeness).sum()
+    )
+
+    largest = dataset.max_distance_km
+    ci_term = 0.0
+    for j, ci in enumerate(package.composite_items):
+        mu_lat, mu_lon = ci.centroid
+        for poi in ci.pois:
+            d = float(equirectangular_km(poi.lat, poi.lon, mu_lat, mu_lon))
+            if largest > 0:
+                d /= largest
+            ci_term += weights.beta * (1.0 - min(d, 1.0))
+            ci_term += weights.gamma * cosine(
+                item_index.vector(poi), profile.vector(poi.cat)
+            )
+    return weights.alpha * clustering_term + ci_term

@@ -1,0 +1,119 @@
+"""Travel Packages (Section 3.2).
+
+A Travel Package is a set of ``k`` Composite Items -- one per day of a
+``k``-day trip in the paper's framing.  The package records the CIs'
+anchoring centroids so the evaluation metrics (representativity) and the
+customization operators can reason about the geometry of the package.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.composite import CompositeItem
+from repro.core.query import GroupQuery
+from repro.metrics.dimensions import (
+    cohesiveness as _cohesiveness,
+    personalization as _personalization,
+    raw_cohesiveness_sum as _raw_cohesiveness,
+    representativity as _representativity,
+)
+from repro.profiles.group import GroupProfile
+from repro.profiles.vectors import ItemVectorIndex
+
+
+class TravelPackage:
+    """An immutable set of Composite Items.
+
+    Args:
+        composite_items: The CIs forming the package.
+        query: The query the package was built for (kept for validity
+            checks after customization).
+    """
+
+    def __init__(self, composite_items: Iterable[CompositeItem],
+                 query: GroupQuery | None = None) -> None:
+        self.composite_items: tuple[CompositeItem, ...] = tuple(composite_items)
+        if not self.composite_items:
+            raise ValueError("a travel package needs at least one Composite Item")
+        self.query = query
+
+    def __len__(self) -> int:
+        return len(self.composite_items)
+
+    def __iter__(self) -> Iterator[CompositeItem]:
+        return iter(self.composite_items)
+
+    def __getitem__(self, index: int) -> CompositeItem:
+        return self.composite_items[index]
+
+    @property
+    def k(self) -> int:
+        """Number of Composite Items (days)."""
+        return len(self.composite_items)
+
+    def centroids(self) -> np.ndarray:
+        """``(k, 2)`` array of CI centroids."""
+        return np.array([ci.centroid for ci in self.composite_items])
+
+    def all_pois(self) -> list:
+        """Every POI across the CIs (with repeats if a POI is shared)."""
+        return [p for ci in self.composite_items for p in ci.pois]
+
+    def is_valid(self, query: GroupQuery | None = None) -> bool:
+        """Whether every CI is valid for ``query`` (defaults to the
+        package's own query)."""
+        q = query or self.query
+        if q is None:
+            raise ValueError("no query given and the package stores none")
+        return all(ci.is_valid(q) for ci in self.composite_items)
+
+    # -- metric conveniences (Section 4.2) -----------------------------------
+
+    def representativity(self) -> float:
+        """Equation 2 over this package's centroids."""
+        return _representativity(self.centroids())
+
+    def raw_cohesiveness_sum(self) -> float:
+        """Total within-CI pairwise distance (Equation 3's inner sum)."""
+        return _raw_cohesiveness([ci.pois for ci in self.composite_items])
+
+    def cohesiveness(self, s_constant: float) -> float:
+        """Equation 3 with the sweep's ``S`` constant."""
+        return _cohesiveness([ci.pois for ci in self.composite_items], s_constant)
+
+    def personalization(self, profile: GroupProfile,
+                        item_index: ItemVectorIndex) -> float:
+        """Equation 4 against a group profile."""
+        return _personalization(
+            [ci.pois for ci in self.composite_items], profile, item_index
+        )
+
+    # -- functional updates ----------------------------------------------------
+
+    def with_composite_item(self, index: int, ci: CompositeItem) -> "TravelPackage":
+        """A new package with the ``index``-th CI replaced."""
+        cis = list(self.composite_items)
+        cis[index] = ci
+        return TravelPackage(cis, query=self.query)
+
+    def appending(self, ci: CompositeItem) -> "TravelPackage":
+        """A new package with one extra CI (the ``GENERATE`` operator)."""
+        return TravelPackage((*self.composite_items, ci), query=self.query)
+
+    def without_composite_item(self, index: int) -> "TravelPackage":
+        """A new package lacking the ``index``-th CI (CI deletion)."""
+        cis = [ci for i, ci in enumerate(self.composite_items) if i != index]
+        return TravelPackage(cis, query=self.query)
+
+    def __repr__(self) -> str:
+        return f"TravelPackage(k={self.k}, query={self.query})"
+
+
+def package_from_pois(groups_of_pois: Sequence[Sequence], query: GroupQuery | None = None) -> TravelPackage:
+    """Convenience: build a package from raw POI lists (tests, baselines)."""
+    return TravelPackage(
+        (CompositeItem(pois) for pois in groups_of_pois), query=query
+    )

@@ -1,0 +1,101 @@
+"""Profile refinement from customization feedback (Section 3.3).
+
+Interactions with a Travel Package are implicit preference feedback.
+For each POI category ``c``, with ``I+`` the added POIs of that category
+and ``I-`` the removed ones, the paper updates a profile vector as
+
+    g  <-  g + mean(item vectors of I+) - mean(item vectors of I-)
+
+clipping any component that falls below zero.  Two strategies:
+
+* **batch** -- pool every member's interactions and update the group
+  profile directly;
+* **individual** -- update each member's own profile from that member's
+  interactions, then re-aggregate the group profile with the original
+  consensus method.
+
+User-profile scores are defined on [0, 1], so the individual strategy
+additionally clips at 1 (the group profile follows the paper exactly
+and is only clipped below).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.customize import Interaction
+from repro.data.poi import CATEGORIES, Category, POI
+from repro.profiles.consensus import ConsensusMethod
+from repro.profiles.group import Group, GroupProfile
+from repro.profiles.user import UserProfile
+from repro.profiles.vectors import ItemVectorIndex
+
+
+def _mean_item_vector(pois: list[POI], item_index: ItemVectorIndex,
+                      size: int) -> np.ndarray:
+    """Mean item vector of a POI list; zeros when the list is empty."""
+    if not pois:
+        return np.zeros(size)
+    return np.mean([item_index.vector(p) for p in pois], axis=0)
+
+
+def _delta_for_category(cat: Category, added: list[POI], removed: list[POI],
+                        item_index: ItemVectorIndex, size: int) -> np.ndarray:
+    """``mean(I+) - mean(I-)`` restricted to one category."""
+    plus = [p for p in added if p.cat == cat]
+    minus = [p for p in removed if p.cat == cat]
+    return (_mean_item_vector(plus, item_index, size)
+            - _mean_item_vector(minus, item_index, size))
+
+
+def refine_batch(profile: GroupProfile, interactions: Iterable[Interaction],
+                 item_index: ItemVectorIndex) -> GroupProfile:
+    """The batch strategy: update the group profile from the pooled
+    interaction log of all members."""
+    interactions = list(interactions)
+    added = [p for it in interactions for p in it.added]
+    removed = [p for it in interactions for p in it.removed]
+    updated = profile
+    for cat in CATEGORIES:
+        size = profile.schema.size(cat)
+        delta = _delta_for_category(cat, added, removed, item_index, size)
+        if not delta.any():
+            continue
+        new_vec = np.maximum(profile.vector(cat) + delta, 0.0)
+        updated = updated.updated(cat, new_vec)
+    return updated
+
+
+def refine_individual(group: Group, interactions: Iterable[Interaction],
+                      item_index: ItemVectorIndex,
+                      method: ConsensusMethod | str = ConsensusMethod.AVERAGE,
+                      w1: float | None = None) -> tuple[Group, GroupProfile]:
+    """The individual strategy: refine each member from their own
+    interactions, then re-aggregate the group profile.
+
+    Interactions without an ``actor`` cannot be attributed and are
+    skipped (the batch strategy is the right tool for those).
+
+    Returns:
+        The refined group and its re-aggregated profile.
+    """
+    interactions = list(interactions)
+    refined = group
+    for member_index in range(len(group)):
+        mine = [it for it in interactions if it.actor == member_index]
+        if not mine:
+            continue
+        added = [p for it in mine for p in it.added]
+        removed = [p for it in mine for p in it.removed]
+        member = refined.members[member_index]
+        new_vectors = {}
+        for cat in CATEGORIES:
+            size = member.schema.size(cat)
+            delta = _delta_for_category(cat, added, removed, item_index, size)
+            new_vectors[cat] = np.clip(member.vector(cat) + delta, 0.0, 1.0)
+        refined = refined.with_member(
+            member_index, UserProfile(member.schema, new_vectors)
+        )
+    return refined, refined.profile(method, w1=w1)

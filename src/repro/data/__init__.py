@@ -1,0 +1,43 @@
+"""Data substrate: POIs, datasets, and the synthetic TourPedia substitute.
+
+The paper builds travel packages over the TourPedia dataset (POIs of
+eight cities in four categories) augmented with Foursquare metadata
+(types, tags, check-in counts).  Neither resource is available offline,
+so this subpackage provides a faithful synthetic equivalent:
+
+* :mod:`repro.data.poi` -- the ``POI`` record and ``Category`` enum
+  exactly matching the paper's item schema (Table 1);
+* :mod:`repro.data.taxonomy` -- per-category type taxonomies and
+  per-type tag vocabularies standing in for the Foursquare ontology;
+* :mod:`repro.data.cities` -- templates for the eight TourPedia cities
+  (bounding boxes, neighbourhood seeds, POI volumes);
+* :mod:`repro.data.synthetic` -- a deterministic generator producing
+  neighbourhood-clustered POIs per template;
+* :mod:`repro.data.foursquare` -- the simulated augmentation service
+  assigning types, tags and Zipf-distributed check-ins, with
+  ``cost = log(#checkins)`` per Section 2.1;
+* :mod:`repro.data.dataset` -- the ``POIDataset`` container with
+  category views, spatial indexing hooks and JSON round-tripping.
+"""
+
+from repro.data.cities import CITY_TEMPLATES, CityTemplate, city_names
+from repro.data.dataset import POIDataset
+from repro.data.foursquare import FoursquareSimulator
+from repro.data.poi import CATEGORIES, Category, POI
+from repro.data.synthetic import generate_city
+from repro.data.taxonomy import TAXONOMY, tag_vocabulary, types_for
+
+__all__ = [
+    "CATEGORIES",
+    "CITY_TEMPLATES",
+    "Category",
+    "CityTemplate",
+    "FoursquareSimulator",
+    "POI",
+    "POIDataset",
+    "TAXONOMY",
+    "city_names",
+    "generate_city",
+    "tag_vocabulary",
+    "types_for",
+]

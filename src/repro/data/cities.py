@@ -1,0 +1,165 @@
+"""Templates for the eight TourPedia cities.
+
+TourPedia covers Amsterdam, Barcelona, Berlin, Dubai, London, Paris, Rome
+and Tuscany.  Each template records a realistic bounding box, a set of
+neighbourhood seeds (the generator clusters POIs around them, because
+real cities concentrate POIs in districts) and the number of POIs per
+category.  Paris and Barcelona -- the two cities the paper's experiments
+use -- get the richest templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.poi import Category
+
+
+@dataclass(frozen=True)
+class CityTemplate:
+    """Parameters from which a synthetic city is generated.
+
+    Attributes:
+        name: City name, e.g. ``"paris"``.
+        south, north: Latitude extent of the city in degrees.
+        west, east: Longitude extent in degrees.
+        neighbourhoods: ``(name, lat, lon, spread_km)`` seeds; POIs are
+            placed with Gaussian scatter of ``spread_km`` around a seed.
+        counts: Number of POIs to generate per category.
+    """
+
+    name: str
+    south: float
+    north: float
+    west: float
+    east: float
+    neighbourhoods: tuple[tuple[str, float, float, float], ...]
+    counts: dict[Category, int]
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """``(lat, lon)`` of the bounding-box centre."""
+        return ((self.south + self.north) / 2.0, (self.west + self.east) / 2.0)
+
+
+def _counts(acco: int, trans: int, rest: int, attr: int) -> dict[Category, int]:
+    return {
+        Category.ACCOMMODATION: acco,
+        Category.TRANSPORTATION: trans,
+        Category.RESTAURANT: rest,
+        Category.ATTRACTION: attr,
+    }
+
+
+CITY_TEMPLATES: dict[str, CityTemplate] = {
+    "paris": CityTemplate(
+        name="paris",
+        south=48.815, north=48.902, west=2.25, east=2.42,
+        neighbourhoods=(
+            ("louvre", 48.861, 2.336, 0.8),
+            ("marais", 48.857, 2.362, 0.7),
+            ("latin-quarter", 48.848, 2.344, 0.7),
+            ("montmartre", 48.886, 2.341, 0.8),
+            ("champs-elysees", 48.870, 2.307, 0.9),
+            ("invalides", 48.857, 2.313, 0.7),
+            ("bastille", 48.853, 2.369, 0.7),
+            ("montparnasse", 48.842, 2.321, 0.8),
+        ),
+        counts=_counts(acco=160, trans=140, rest=320, attr=280),
+    ),
+    "barcelona": CityTemplate(
+        name="barcelona",
+        south=41.35, north=41.45, west=2.10, east=2.23,
+        neighbourhoods=(
+            ("gothic-quarter", 41.383, 2.176, 0.6),
+            ("eixample", 41.392, 2.163, 0.9),
+            ("gracia", 41.404, 2.156, 0.7),
+            ("barceloneta", 41.380, 2.189, 0.6),
+            ("montjuic", 41.368, 2.159, 0.8),
+            ("sagrada-familia", 41.403, 2.174, 0.6),
+        ),
+        counts=_counts(acco=130, trans=110, rest=260, attr=220),
+    ),
+    "amsterdam": CityTemplate(
+        name="amsterdam",
+        south=52.33, north=52.40, west=4.83, east=4.95,
+        neighbourhoods=(
+            ("centrum", 52.372, 4.893, 0.6),
+            ("jordaan", 52.374, 4.881, 0.5),
+            ("museumplein", 52.358, 4.881, 0.5),
+            ("de-pijp", 52.354, 4.893, 0.5),
+        ),
+        counts=_counts(acco=90, trans=80, rest=180, attr=150),
+    ),
+    "berlin": CityTemplate(
+        name="berlin",
+        south=52.47, north=52.56, west=13.29, east=13.48,
+        neighbourhoods=(
+            ("mitte", 52.520, 13.405, 0.9),
+            ("kreuzberg", 52.499, 13.403, 0.8),
+            ("prenzlauer-berg", 52.539, 13.424, 0.8),
+            ("charlottenburg", 52.516, 13.304, 0.9),
+        ),
+        counts=_counts(acco=100, trans=100, rest=200, attr=170),
+    ),
+    "dubai": CityTemplate(
+        name="dubai",
+        south=25.07, north=25.28, west=55.13, east=55.40,
+        neighbourhoods=(
+            ("downtown", 25.197, 55.274, 1.2),
+            ("marina", 25.080, 55.140, 1.0),
+            ("deira", 25.271, 55.308, 1.0),
+            ("jumeirah", 25.205, 55.239, 1.2),
+        ),
+        counts=_counts(acco=110, trans=70, rest=190, attr=140),
+    ),
+    "london": CityTemplate(
+        name="london",
+        south=51.47, north=51.56, west=-0.21, east=0.01,
+        neighbourhoods=(
+            ("westminster", 51.500, -0.127, 0.8),
+            ("soho", 51.513, -0.136, 0.6),
+            ("city", 51.513, -0.091, 0.7),
+            ("south-bank", 51.505, -0.114, 0.6),
+            ("kensington", 51.499, -0.193, 0.8),
+        ),
+        counts=_counts(acco=140, trans=130, rest=280, attr=240),
+    ),
+    "rome": CityTemplate(
+        name="rome",
+        south=41.85, north=41.93, west=12.44, east=12.55,
+        neighbourhoods=(
+            ("centro-storico", 41.899, 12.473, 0.7),
+            ("trastevere", 41.889, 12.470, 0.6),
+            ("vaticano", 41.903, 12.454, 0.6),
+            ("colosseo", 41.890, 12.492, 0.6),
+        ),
+        counts=_counts(acco=110, trans=90, rest=230, attr=210),
+    ),
+    "tuscany": CityTemplate(
+        name="tuscany",
+        south=43.70, north=43.83, west=11.15, east=11.33,
+        neighbourhoods=(
+            ("florence-duomo", 43.773, 11.256, 0.7),
+            ("oltrarno", 43.765, 11.248, 0.6),
+            ("santa-croce", 43.769, 11.262, 0.6),
+            ("fiesole", 43.806, 11.293, 0.9),
+        ),
+        counts=_counts(acco=90, trans=60, rest=170, attr=150),
+    ),
+}
+
+
+def city_names() -> tuple[str, ...]:
+    """Names of the eight available city templates."""
+    return tuple(CITY_TEMPLATES)
+
+
+def get_template(name: str) -> CityTemplate:
+    """Look up a city template by (case-insensitive) name."""
+    try:
+        return CITY_TEMPLATES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown city {name!r}; available: {', '.join(CITY_TEMPLATES)}"
+        ) from None

@@ -1,0 +1,165 @@
+"""The ``POIDataset`` container.
+
+A thin, well-indexed collection of POIs for one city: constant-time id
+lookup, per-category views, coordinate matrices for the clustering code,
+a lazily-built spatial grid for neighbourhood queries, and JSON
+round-tripping so generated cities can be cached on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.poi import CATEGORIES, POI, Category
+from repro.geo.distance import max_pairwise_distance
+from repro.geo.grid import SpatialGrid
+
+
+class POIDataset:
+    """An immutable collection of POIs with fast lookups.
+
+    Args:
+        pois: The POIs; ids must be unique.
+        city: Optional city name the POIs belong to.
+    """
+
+    def __init__(self, pois: Iterable[POI], city: str = "") -> None:
+        self._pois: dict[int, POI] = {}
+        for poi in pois:
+            if poi.id in self._pois:
+                raise ValueError(f"duplicate POI id {poi.id}")
+            self._pois[poi.id] = poi
+        self.city = city
+        self._by_category: dict[Category, tuple[POI, ...]] = {
+            cat: tuple(p for p in self._pois.values() if p.cat == cat)
+            for cat in CATEGORIES
+        }
+        self._grid: SpatialGrid | None = None
+        self._max_distance: float | None = None
+
+    # -- basic container protocol ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pois)
+
+    def __iter__(self) -> Iterator[POI]:
+        return iter(self._pois.values())
+
+    def __contains__(self, poi_id: int) -> bool:
+        return poi_id in self._pois
+
+    def __getitem__(self, poi_id: int) -> POI:
+        try:
+            return self._pois[poi_id]
+        except KeyError:
+            raise KeyError(f"no POI with id {poi_id} in dataset") from None
+
+    def get(self, poi_id: int, default: POI | None = None) -> POI | None:
+        """Like ``dict.get`` for POI ids."""
+        return self._pois.get(poi_id, default)
+
+    @property
+    def ids(self) -> tuple[int, ...]:
+        """All POI ids, in insertion order."""
+        return tuple(self._pois)
+
+    # -- category views ------------------------------------------------------
+
+    def by_category(self, category: Category | str) -> tuple[POI, ...]:
+        """All POIs of one category."""
+        return self._by_category[Category.parse(category)]
+
+    def category_counts(self) -> dict[Category, int]:
+        """Number of POIs per category."""
+        return {cat: len(pois) for cat, pois in self._by_category.items()}
+
+    # -- geometry -------------------------------------------------------------
+
+    def coordinates(self, pois: Iterable[POI] | None = None) -> np.ndarray:
+        """``(n, 2)`` array of ``(lat, lon)`` for ``pois`` (default: all)."""
+        source = list(pois) if pois is not None else list(self._pois.values())
+        if not source:
+            return np.empty((0, 2))
+        return np.array([[p.lat, p.lon] for p in source])
+
+    @property
+    def max_distance_km(self) -> float:
+        """Largest pairwise distance in the dataset (the paper's distance
+        normalizer).  Cached after first computation."""
+        if self._max_distance is None:
+            self._max_distance = max_pairwise_distance(self.coordinates())
+        return self._max_distance
+
+    @property
+    def grid(self) -> SpatialGrid:
+        """A spatial grid over all POIs, built lazily and cached."""
+        if self._grid is None:
+            self._grid = SpatialGrid.from_points(
+                (p.id, p.lat, p.lon) for p in self._pois.values()
+            )
+        return self._grid
+
+    def nearest(self, lat: float, lon: float, k: int = 1,
+                category: Category | str | None = None,
+                poi_type: str | None = None,
+                exclude: set[int] | None = None) -> list[POI]:
+        """The ``k`` POIs nearest to a point, optionally filtered.
+
+        Args:
+            lat, lon: Query point.
+            k: Number of POIs to return.
+            category: Restrict to a category if given.
+            poi_type: Restrict to a POI type if given.
+            exclude: POI ids to skip (e.g. items already in a CI).
+        """
+        want_cat = Category.parse(category) if category is not None else None
+
+        def _accept(poi_id: int) -> bool:
+            poi = self._pois[poi_id]
+            if want_cat is not None and poi.cat != want_cat:
+                return False
+            if poi_type is not None and poi.type != poi_type:
+                return False
+            if exclude and poi_id in exclude:
+                return False
+            return True
+
+        ids = self.grid.nearest(lat, lon, k=k, predicate=_accept)
+        return [self._pois[i] for i in ids]
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the dataset to a JSON string."""
+        payload = {"city": self.city, "pois": [p.to_dict() for p in self]}
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "POIDataset":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        return cls((POI.from_dict(d) for d in payload["pois"]),
+                   city=payload.get("city", ""))
+
+    def save(self, path: str | Path) -> None:
+        """Write the dataset to ``path`` as JSON."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "POIDataset":
+        """Read a dataset previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+    # -- functional updates -------------------------------------------------------
+
+    def subset(self, ids: Iterable[int]) -> "POIDataset":
+        """A new dataset containing only the given POI ids."""
+        return POIDataset((self._pois[i] for i in ids), city=self.city)
+
+    def __repr__(self) -> str:
+        counts = ", ".join(f"{cat.value}={n}" for cat, n in self.category_counts().items())
+        return f"POIDataset(city={self.city!r}, n={len(self)}, {counts})"

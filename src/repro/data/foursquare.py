@@ -1,0 +1,117 @@
+"""Simulated Foursquare augmentation service.
+
+Section 2.1 of the paper augments every TourPedia POI with metadata
+retrieved from the Foursquare API:
+
+* the POI's *type* within its category (hotel / hostel / ..., tram
+  station / bike rental / ...),
+* the user-contributed *tags* on the POI,
+* a *cost* estimated as ``log(#checkins)``, on the rationale that
+  heavily checked-in POIs are crowded and therefore expensive.
+
+Offline we cannot call Foursquare, so :class:`FoursquareSimulator`
+reproduces the statistical character of those responses:
+
+* types are drawn from the category taxonomy with a mild popularity
+  skew (hotels outnumber college residence halls, etc.);
+* tags are drawn mostly from the POI type's characteristic vocabulary
+  and occasionally from a generic pool, giving LDA type-aligned topics
+  to recover;
+* check-in counts follow a Zipf-like heavy tail, as check-in data does
+  in practice, and ``cost = log(#checkins)`` exactly as in the paper.
+
+The simulator is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.poi import Category
+from repro.data.taxonomy import GENERIC_TAGS, tag_vocabulary, types_for
+
+#: Smallest and largest simulated check-in counts.  log() of these spans
+#: costs of roughly 1.1 .. 9.2, comparable to Table 1's values.
+_MIN_CHECKINS = 3
+_MAX_CHECKINS = 10_000
+
+
+class FoursquareSimulator:
+    """Deterministic stand-in for the Foursquare augmentation API.
+
+    Args:
+        seed: Seed for the internal random generator.  Two simulators
+            with the same seed produce identical augmentations.
+        tags_per_poi: ``(low, high)`` bounds for how many tags a POI
+            receives (inclusive).
+        generic_tag_share: Probability that a sampled tag comes from the
+            generic pool instead of the type vocabulary.
+    """
+
+    def __init__(self, seed: int = 0, tags_per_poi: tuple[int, int] = (4, 9),
+                 generic_tag_share: float = 0.2) -> None:
+        low, high = tags_per_poi
+        if not 1 <= low <= high:
+            raise ValueError("tags_per_poi bounds must satisfy 1 <= low <= high")
+        if not 0.0 <= generic_tag_share < 1.0:
+            raise ValueError("generic_tag_share must be in [0, 1)")
+        self._rng = np.random.default_rng(seed)
+        self._tags_low = low
+        self._tags_high = high
+        self._generic_share = generic_tag_share
+
+    def sample_type(self, category: Category) -> str:
+        """Draw a type for a POI of ``category`` with a popularity skew.
+
+        The first types in each taxonomy list are treated as the most
+        common (e.g. plain hotels dominate accommodation listings), with
+        geometrically decaying weights.
+        """
+        types = types_for(category)
+        weights = np.array([0.75 ** rank for rank in range(len(types))])
+        weights /= weights.sum()
+        return str(self._rng.choice(types, p=weights))
+
+    def sample_tags(self, poi_type: str) -> tuple[str, ...]:
+        """Draw a tag bag for a POI of the given type.
+
+        Tags are sampled without replacement within each pool so a POI
+        never carries duplicate tags.
+        """
+        count = int(self._rng.integers(self._tags_low, self._tags_high + 1))
+        own_vocab = list(tag_vocabulary(poi_type))
+        n_generic = int(self._rng.binomial(count, self._generic_share))
+        n_own = min(count - n_generic, len(own_vocab))
+        n_generic = min(count - n_own, len(GENERIC_TAGS))
+        own = self._rng.choice(own_vocab, size=n_own, replace=False)
+        generic = self._rng.choice(GENERIC_TAGS, size=n_generic, replace=False)
+        tags = [str(t) for t in own] + [str(t) for t in generic]
+        self._rng.shuffle(tags)
+        return tuple(tags)
+
+    def sample_checkins(self) -> int:
+        """Draw a heavy-tailed check-in count.
+
+        Uses a log-uniform (reciprocal) distribution between
+        ``_MIN_CHECKINS`` and ``_MAX_CHECKINS``, a standard model for
+        popularity counts.
+        """
+        lo, hi = math.log(_MIN_CHECKINS), math.log(_MAX_CHECKINS)
+        return int(round(math.exp(self._rng.uniform(lo, hi))))
+
+    @staticmethod
+    def cost_from_checkins(checkins: int) -> float:
+        """The paper's cost estimator, ``cost = log(#checkins)``.
+
+        A POI with a single check-in costs 0; counts below 1 are clamped.
+        """
+        return math.log(max(checkins, 1))
+
+    def augment(self, category: Category) -> tuple[str, tuple[str, ...], float]:
+        """One full augmentation: ``(type, tags, cost)`` for a new POI."""
+        poi_type = self.sample_type(category)
+        tags = self.sample_tags(poi_type)
+        cost = self.cost_from_checkins(self.sample_checkins())
+        return poi_type, tags, cost

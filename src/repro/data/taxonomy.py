@@ -1,0 +1,189 @@
+"""Type taxonomies and tag vocabularies -- the Foursquare ontology substitute.
+
+The paper augments TourPedia POIs with Foursquare metadata: every item
+gets a *type* within its category and a bag of user *tags*.  For
+accommodation and transportation the types are "well-defined" (hotel,
+hostel, tram station, ...); for restaurants and attractions the tags are
+richer and the paper runs LDA over them to discover latent topics such
+as "japanese, sushi" or "beer, wine, bistro".
+
+This module encodes a compact ontology with the same character: a fixed
+list of types per category, and for each restaurant/attraction type a
+vocabulary of characteristic tags (plus a shared pool of generic tags).
+The simulated Foursquare service (:mod:`repro.data.foursquare`) samples
+tags mostly from a POI's own type vocabulary and occasionally from the
+generic pool, so LDA recovers type-aligned topics -- exactly the
+structure the paper's profile vectors rely on.
+"""
+
+from __future__ import annotations
+
+from repro.data.poi import Category
+
+#: Types per category.  Accommodation and transportation types directly
+#: define the profile-vector dimensions (Section 2.2); restaurant and
+#: attraction types seed the tag generator whose output LDA re-discovers.
+TAXONOMY: dict[Category, tuple[str, ...]] = {
+    Category.ACCOMMODATION: (
+        "hotel",
+        "hostel",
+        "motel",
+        "resort",
+        "bed and breakfast",
+        "college residence hall",
+    ),
+    Category.TRANSPORTATION: (
+        "tram station",
+        "train station",
+        "metro station",
+        "bus stop",
+        "bike rental",
+        "car rental",
+        "ferry terminal",
+    ),
+    Category.RESTAURANT: (
+        "french",
+        "italian",
+        "japanese",
+        "middle eastern",
+        "vegetarian",
+        "bistro pub",
+        "cafe bakery",
+        "seafood",
+    ),
+    Category.ATTRACTION: (
+        "art museum",
+        "history museum",
+        "park garden",
+        "monument",
+        "theater concert hall",
+        "market shopping",
+        "viewpoint",
+        "religious site",
+    ),
+}
+
+#: Characteristic tags per restaurant/attraction type.  These drive the
+#: latent-topic structure LDA recovers.
+_TYPE_TAGS: dict[str, tuple[str, ...]] = {
+    # -- restaurants -------------------------------------------------------
+    "french": (
+        "french", "gastronomic", "foie", "escargot", "wine", "brasserie",
+        "terrace", "confit", "souffle", "romantic",
+    ),
+    "italian": (
+        "italian", "pasta", "pizza", "risotto", "tiramisu", "espresso",
+        "trattoria", "antipasti", "gelato", "family",
+    ),
+    "japanese": (
+        "japanese", "sushi", "ramen", "sake", "tempura", "izakaya",
+        "bento", "matcha", "minimal", "fresh",
+    ),
+    "middle eastern": (
+        "lebanese", "falafel", "hummus", "shawarma", "mezze", "baklava",
+        "grill", "spices", "tajine", "tea",
+    ),
+    "vegetarian": (
+        "vegetarian", "vegan", "organic", "salad", "smoothie", "quinoa",
+        "gluten-free", "healthy", "juice", "bowls",
+    ),
+    "bistro pub": (
+        "beer", "wine", "bistro", "pub", "craft", "burgers", "happy-hour",
+        "liquor", "margaritas", "fireplace",
+    ),
+    "cafe bakery": (
+        "cafe", "coffee", "brunch", "croissant", "pastry", "bakery",
+        "breakfast", "cozy", "wifi", "cakes",
+    ),
+    "seafood": (
+        "seafood", "oysters", "lobster", "fish", "grilled", "chowder",
+        "harbor", "shrimp", "mussels", "fresh-catch",
+    ),
+    # -- attractions -------------------------------------------------------
+    "art museum": (
+        "art", "gallery", "museum", "contemporary", "exhibition",
+        "paintings", "sculpture", "modern", "decorative", "fashion",
+    ),
+    "history museum": (
+        "history", "museum", "library", "archive", "antiquities",
+        "archaeology", "heritage", "manuscripts", "medieval", "artifacts",
+    ),
+    "park garden": (
+        "garden", "park", "green", "picnic", "fountain", "botanical",
+        "playground", "lawn", "trees", "event-hall",
+    ),
+    "monument": (
+        "monument", "landmark", "tower", "arch", "statue", "plaza",
+        "iconic", "photo-spot", "historic", "architecture",
+    ),
+    "theater concert hall": (
+        "theater", "opera", "concert", "stage", "orchestra", "ballet",
+        "performance", "acoustics", "velvet", "premiere",
+    ),
+    "market shopping": (
+        "market", "shopping", "boutique", "souvenirs", "antiques",
+        "flea-market", "crafts", "bargain", "stalls", "local-produce",
+    ),
+    "viewpoint": (
+        "view", "panorama", "skyline", "sunset", "rooftop", "hill",
+        "observation", "photography", "horizon", "breathtaking",
+    ),
+    "religious site": (
+        "cathedral", "church", "basilica", "chapel", "stained-glass",
+        "gothic", "pilgrimage", "quiet", "organ", "spire",
+    ),
+    # -- accommodation (tags exist but are not topic-modelled) -------------
+    "hotel": ("hotel", "luxury", "suites", "spa", "concierge", "bar"),
+    "hostel": ("hostel", "backpackers", "dorm", "social", "budget", "lockers"),
+    "motel": ("motel", "parking", "roadside", "simple", "24h", "checkin"),
+    "resort": ("resort", "pool", "wellness", "golf", "beachfront", "villas"),
+    "bed and breakfast": ("bnb", "homely", "breakfast", "hosts", "charming", "garden"),
+    "college residence hall": ("residence", "student", "campus", "summer", "shared", "study"),
+    # -- transportation ----------------------------------------------------
+    "tram station": ("tram", "line", "stop", "transit", "platform", "tickets"),
+    "train station": ("train", "rail", "departures", "intercity", "platform", "luggage"),
+    "metro station": ("metro", "subway", "underground", "line", "turnstile", "rush-hour"),
+    "bus stop": ("bus", "route", "shelter", "timetable", "night-bus", "stop"),
+    "bike rental": ("bicycle", "bike", "cruiser", "fixed-gear", "helmet", "paris"),
+    "car rental": ("car", "rental", "insurance", "gps", "compact", "pickup"),
+    "ferry terminal": ("ferry", "boat", "river", "cruise", "dock", "quay"),
+}
+
+#: Generic tags any POI may carry regardless of type; background noise
+#: for the topic model, mimicking non-discriminative Foursquare tags.
+GENERIC_TAGS: tuple[str, ...] = (
+    "popular", "tourists", "central", "hidden-gem", "crowded", "classic",
+    "friendly", "expensive", "cheap", "authentic", "must-see", "local",
+)
+
+
+def types_for(category: Category | str) -> tuple[str, ...]:
+    """The type list for a category (profile-vector dimensions for
+    accommodation/transportation)."""
+    return TAXONOMY[Category.parse(category)]
+
+
+def tag_vocabulary(poi_type: str) -> tuple[str, ...]:
+    """Characteristic tags for a POI type.
+
+    Raises ``KeyError`` for unknown types so typos fail loudly.
+    """
+    return _TYPE_TAGS[poi_type]
+
+
+def full_vocabulary(category: Category | str | None = None) -> tuple[str, ...]:
+    """All distinct tags, optionally restricted to one category's types.
+
+    Used to size the LDA vocabulary in tests.
+    """
+    if category is None:
+        types: tuple[str, ...] = tuple(t for ts in TAXONOMY.values() for t in ts)
+    else:
+        types = types_for(category)
+    seen: dict[str, None] = {}
+    for poi_type in types:
+        for tag in _TYPE_TAGS[poi_type]:
+            seen[tag] = None
+    for tag in GENERIC_TAGS:
+        seen[tag] = None
+    return tuple(seen)

@@ -1,0 +1,29 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+Each module reproduces one artifact of Section 4 (see DESIGN.md's
+per-experiment index):
+
+* :mod:`repro.experiments.synthetic_sweep` -- the shared synthetic
+  workload behind Tables 2 and 3;
+* :mod:`repro.experiments.table2` -- optimization dimensions per
+  consensus x uniformity x size (plus the ANOVA and PCC claims);
+* :mod:`repro.experiments.table3` -- median-user vs. group agreement;
+* :mod:`repro.experiments.table4` / :mod:`~repro.experiments.table5`
+  -- the simulated user study, independent and comparative;
+* :mod:`repro.experiments.table6` / :mod:`~repro.experiments.table7`
+  -- the customization study (individual vs. batch refinement);
+* :mod:`repro.experiments.figure1` -- a budgeted 5-day Paris package;
+* :mod:`repro.experiments.figure3` -- the customization operators on a
+  map;
+* :mod:`repro.experiments.distance_perf` -- the Section 3.2
+  equirectangular-vs-haversine speed/precision claim.
+
+Run everything from the command line::
+
+    grouptravel table2 --groups 100
+    grouptravel all --fast
+"""
+
+from repro.experiments.context import ExperimentConfig, ExperimentContext
+
+__all__ = ["ExperimentConfig", "ExperimentContext"]

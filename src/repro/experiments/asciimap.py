@@ -1,0 +1,73 @@
+"""ASCII map rendering for the figure reproductions.
+
+Figures 1 and 3 of the paper are annotated city maps.  In a terminal we
+render the same information as a character grid: each Composite Item's
+POIs are drawn with the CI's digit, annotated with the category letter
+the paper uses (A = accommodation, T = transportation, R = restaurant,
+H = attraction -- the paper's Figure 1 legend).
+"""
+
+from __future__ import annotations
+
+from repro.core.package import TravelPackage
+from repro.data.poi import Category
+
+#: The paper's category letters (Figure 1 legend).
+CATEGORY_LETTERS: dict[Category, str] = {
+    Category.ACCOMMODATION: "A",
+    Category.TRANSPORTATION: "T",
+    Category.RESTAURANT: "R",
+    Category.ATTRACTION: "H",
+}
+
+
+def render_package_map(package: TravelPackage, width: int = 72,
+                       height: int = 24) -> str:
+    """Draw a package on an ASCII map.
+
+    Each POI cell shows the CI digit; centroids are drawn as ``*``.
+    Overlapping POIs keep the first writer (maps are for orientation,
+    not precision).
+    """
+    pois = package.all_pois()
+    if not pois:
+        return "(empty package)"
+    lats = [p.lat for p in pois] + [c[0] for c in (ci.centroid for ci in package)]
+    lons = [p.lon for p in pois] + [c[1] for c in (ci.centroid for ci in package)]
+    lat_min, lat_max = min(lats), max(lats)
+    lon_min, lon_max = min(lons), max(lons)
+    lat_span = max(lat_max - lat_min, 1e-9)
+    lon_span = max(lon_max - lon_min, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(lat: float, lon: float, char: str) -> None:
+        row = int((lat_max - lat) / lat_span * (height - 1))
+        col = int((lon - lon_min) / lon_span * (width - 1))
+        if grid[row][col] == " ":
+            grid[row][col] = char
+
+    for index, ci in enumerate(package):
+        place(ci.centroid[0], ci.centroid[1], "*")
+        for poi in ci.pois:
+            place(poi.lat, poi.lon, str(index + 1))
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = ("digits = Composite Item index, * = CI centroid; "
+              "lat %.3f..%.3f lon %.3f..%.3f" % (lat_min, lat_max, lon_min, lon_max))
+    return f"{border}\n{body}\n{border}\n{legend}"
+
+
+def render_itinerary(package: TravelPackage) -> str:
+    """A day-by-day listing of a package (Figure 1's right-hand side)."""
+    lines = []
+    for index, ci in enumerate(package):
+        cost = ci.total_cost()
+        lines.append(f"DAY {index + 1}  (cost {cost:.2f}, "
+                     f"centroid {ci.centroid[0]:.4f}, {ci.centroid[1]:.4f})")
+        ordered = sorted(ci.pois, key=lambda p: (p.cat.value, p.id))
+        for poi in ordered:
+            letter = CATEGORY_LETTERS[poi.cat]
+            lines.append(f"  [{letter}] {poi.name}  ({poi.type}, cost {poi.cost:.2f})")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""``grouptravel`` -- the experiment command-line interface.
+
+Regenerate any table or figure of the paper::
+
+    grouptravel table2               # full-scale synthetic sweep
+    grouptravel table4 --fast        # quick, small-scale run
+    grouptravel figure1
+    grouptravel all --fast           # everything, quickly
+
+``--fast`` switches to :meth:`ExperimentConfig.fast` (smaller city,
+fewer groups); ``--groups``, ``--scale`` and ``--seed`` override single
+knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import distance_perf, figure1, figure3
+from repro.experiments import table2, table3, table4, table5, table6, table7
+from repro.experiments.context import ExperimentConfig, ExperimentContext
+
+#: Experiment name -> module with a ``main(ctx)`` entry point.
+EXPERIMENTS = {
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "figure1": figure1,
+    "figure3": figure3,
+    "distance": distance_perf,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grouptravel",
+        description="Reproduce the GroupTravel (EDBT 2019) tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        choices=[*EXPERIMENTS, "all"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--fast", action="store_true",
+                        help="small-scale configuration (seconds, not minutes)")
+    parser.add_argument("--groups", type=int, default=None,
+                        help="groups per sweep cell (paper: 100)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="city-size multiplier (default 1.0)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master random seed (default 2019)")
+    return parser
+
+
+def make_context(args: argparse.Namespace) -> ExperimentContext:
+    config = ExperimentConfig.fast() if args.fast else ExperimentConfig()
+    if args.groups is not None:
+        config.n_groups = args.groups
+    if args.scale is not None:
+        config.scale = args.scale
+    if args.seed is not None:
+        config.seed = args.seed
+    return ExperimentContext(config)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    ctx = make_context(args)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        print(f"=== {name} ===")
+        EXPERIMENTS[name].main(ctx)
+        print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

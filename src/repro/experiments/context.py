@@ -1,0 +1,118 @@
+"""Shared setup for experiment runners.
+
+Building a city and fitting its item vectors (two LDA models) is the
+expensive part of every experiment; :class:`ExperimentContext` does it
+once per city and caches the resulting :class:`~repro.core.GroupTravel`
+system.  A single :class:`ExperimentConfig` carries the knobs that
+trade fidelity for speed (dataset scale, number of sweep groups, LDA
+sweeps) so tests can run the same code paths in seconds that the full
+benchmarks run at paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.builder import GroupTravel
+from repro.core.objective import ObjectiveWeights
+from repro.data.dataset import POIDataset
+from repro.data.synthetic import generate_city
+from repro.profiles.generator import GROUP_SIZES, GroupGenerator
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiment runners.
+
+    Attributes:
+        seed: Master seed; every stochastic component derives from it.
+        scale: City-size multiplier (1.0 = full template volumes).
+        n_groups: Groups per cell in the synthetic sweep (paper: 100).
+        k: Composite Items per package (paper: 5).
+        lda_iterations: Gibbs sweeps when fitting item vectors.
+        sizes: Group-size labels and member counts (paper: 5/10/100).
+    """
+
+    seed: int = 2019
+    scale: float = 1.0
+    n_groups: int = 100
+    k: int = 5
+    lda_iterations: int = 120
+    sizes: dict[str, int] = field(default_factory=lambda: dict(GROUP_SIZES))
+
+    @classmethod
+    def fast(cls) -> "ExperimentConfig":
+        """A configuration for quick runs (tests, --fast CLI): smaller
+        city, fewer groups, small 'large' groups."""
+        return cls(scale=0.3, n_groups=6, lda_iterations=40,
+                   sizes={"small": 5, "medium": 10, "large": 24})
+
+
+class ExperimentContext:
+    """Caches per-city GroupTravel systems for one configuration."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._datasets: dict[str, POIDataset] = {}
+        self._apps: dict[str, GroupTravel] = {}
+
+    def dataset(self, city: str) -> POIDataset:
+        """The (cached) synthetic dataset for a city."""
+        if city not in self._datasets:
+            self._datasets[city] = generate_city(
+                city, seed=self.config.seed, scale=self.config.scale
+            )
+        return self._datasets[city]
+
+    def app(self, city: str = "paris",
+            weights: ObjectiveWeights | None = None) -> GroupTravel:
+        """The (cached) GroupTravel system for a city.
+
+        ``weights`` only affect the *first* construction for a city;
+        callers needing different Equation 1 weights per package pass
+        them to the KFC builder directly (as the sweep runners do).
+        """
+        if city not in self._apps:
+            self._apps[city] = GroupTravel(
+                self.dataset(city),
+                weights=weights or ObjectiveWeights(),
+                k=self.config.k,
+                seed=self.config.seed,
+                lda_iterations=self.config.lda_iterations,
+            )
+        return self._apps[city]
+
+    def generator(self, salt: int = 0) -> GroupGenerator:
+        """A fresh group generator over the Paris schema."""
+        return GroupGenerator(self.app("paris").schema,
+                              seed=self.config.seed + salt)
+
+    # -- shared experiment workloads -----------------------------------------
+    #
+    # Tables 2 and 3 pivot one synthetic sweep; Tables 4 and 5 pivot one
+    # user study; Tables 6 and 7 one customization study.  Caching the
+    # workload on the context lets ``grouptravel all`` (and any caller
+    # running several tables) compute each only once.
+
+    def synthetic_sweep(self):
+        """The cached Tables 2-3 workload (built on first use)."""
+        if not hasattr(self, "_sweep"):
+            from repro.experiments.synthetic_sweep import run_sweep
+            self._sweep = run_sweep(self)
+        return self._sweep
+
+    def user_study(self):
+        """The cached Tables 4-5 workload."""
+        if not hasattr(self, "_user_study"):
+            from repro.experiments.user_study import run_user_study
+            self._user_study = run_user_study(self)
+        return self._user_study
+
+    def customization_study(self):
+        """The cached Tables 6-7 workload."""
+        if not hasattr(self, "_customization_study"):
+            from repro.experiments.customization_study import (
+                run_customization_study,
+            )
+            self._customization_study = run_customization_study(self)
+        return self._customization_study

@@ -1,0 +1,181 @@
+"""The customization study behind Tables 6 and 7 (Section 4.4.4).
+
+The paper's protocol, simulated end to end:
+
+1. Recruit workers with an approval rate above 90%; form one uniform
+   group of 11 members and one non-uniform group of 7.
+2. Build each group a personalized package in **Paris** and let every
+   member interact with it (taste-driven removes / adds / replaces).
+3. Refine the group profile from the interaction log with both the
+   **individual** and the **batch** strategy.
+4. Build packages in **Barcelona** -- a comparable city, embedded in
+   Paris's topic space via LDA fold-in -- from each refined profile,
+   plus a non-personalized control.
+5. Group members rate the Barcelona packages independently (Table 6)
+   and pairwise (Table 7), with the usual invalid-package attention
+   check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baselines import invalid_random_package, non_personalized_package
+from repro.core.customize import CustomizationSession
+from repro.core.query import DEFAULT_QUERY
+from repro.core.refine import refine_batch, refine_individual
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import format_table, pct, rating
+from repro.profiles.consensus import ConsensusMethod
+from repro.profiles.vectors import ItemVectorIndex
+from repro.study.group_formation import form_group
+from repro.study.protocols import comparative_evaluation, independent_evaluation
+from repro.study.workers import Platform, WorkerPool
+
+#: Group sizes of the customization study (Section 4.4.4).
+UNIFORM_SIZE = 11
+NON_UNIFORM_SIZE = 7
+
+#: Strategy labels, reporting order.
+STRATEGIES = ("individual", "batch", "non-personalized")
+
+#: Table 7's pairs.
+STRATEGY_PAIRS: tuple[tuple[str, str], ...] = (
+    ("batch", "individual"),
+    ("batch", "non-personalized"),
+    ("individual", "non-personalized"),
+)
+
+
+@dataclass
+class CustomizationCell:
+    """Protocol outputs for one group."""
+
+    group_size: int
+    mean_ratings: dict[str, float]
+    supremacy: dict[tuple[str, str], float]
+    n_interactions: int
+    n_discarded: int
+
+
+@dataclass
+class CustomizationStudyResult:
+    """Results for the uniform and the non-uniform group."""
+
+    cells: dict[bool, CustomizationCell]  # keyed by `uniform`
+
+    def render_table6(self) -> str:
+        headers = ["TP type",
+                   f"uniform ({self.cells[True].group_size} members)",
+                   f"non-uniform ({self.cells[False].group_size} members)"]
+        rows = [
+            [label,
+             rating(self.cells[True].mean_ratings[label]),
+             rating(self.cells[False].mean_ratings[label])]
+            for label in STRATEGIES
+        ]
+        return format_table(
+            headers, rows,
+            title="Table 6: independent evaluation of customized travel packages",
+        )
+
+    def render_table7(self) -> str:
+        headers = ["groups", *(f"{a} vs {b}" for a, b in STRATEGY_PAIRS)]
+        rows = [
+            ["uniform" if uniform else "non-uniform",
+             *(pct(self.cells[uniform].supremacy[pair]) for pair in STRATEGY_PAIRS)]
+            for uniform in (True, False)
+        ]
+        return format_table(
+            headers, rows,
+            title=("Table 7: comparative evaluation of customized travel "
+                   "packages (% preferring the first strategy)"),
+        )
+
+
+def _barcelona_index(ctx: ExperimentContext) -> ItemVectorIndex:
+    """Barcelona item vectors embedded in the Paris topic space."""
+    return ItemVectorIndex.transfer(
+        ctx.dataset("barcelona"), ctx.app("paris").item_index,
+        seed=ctx.config.seed,
+    )
+
+
+def run_customization_study(ctx: ExperimentContext) -> CustomizationStudyResult:
+    """The full Tables 6-7 workload."""
+    paris = ctx.app("paris")
+    barcelona_data = ctx.dataset("barcelona")
+    barcelona_index = _barcelona_index(ctx)
+    from repro.core.kfc import KFCBuilder  # local import avoids a cycle
+
+    barcelona_kfc = KFCBuilder(
+        barcelona_data, barcelona_index, weights=paris.weights,
+        k=ctx.config.k, seed=ctx.config.seed,
+    )
+
+    pool = WorkerPool.recruit(
+        paris.schema, seed=ctx.config.seed + 404,
+        recruits={Platform.FIGURE_EIGHT: 120, Platform.MTURK: 60},
+    )
+    qualified = pool.with_min_approval(0.9)
+    rng = np.random.default_rng(ctx.config.seed + 505)
+    used: set[int] = set()
+
+    cells: dict[bool, CustomizationCell] = {}
+    for uniform, size in ((True, UNIFORM_SIZE), (False, NON_UNIFORM_SIZE)):
+        group, workers = form_group(qualified, size, uniform, rng, used)
+
+        # 1) Personalized Paris package + member interactions.
+        profile = group.profile(ConsensusMethod.AVERAGE)
+        paris_tp = paris.kfc.build(profile, DEFAULT_QUERY)
+        session = CustomizationSession(
+            package=paris_tp, dataset=paris.dataset, profile=profile,
+            item_index=paris.item_index,
+        )
+        from repro.study.customization_sim import simulate_group_interactions
+
+        simulate_group_interactions(
+            session, group, seed=ctx.config.seed + size,
+            true_profiles=[w.true_profile for w in workers],
+        )
+
+        # 2) Refine with both strategies.
+        batch_profile = refine_batch(profile, session.interactions,
+                                     paris.item_index)
+        _, individual_profile = refine_individual(
+            group, session.interactions, paris.item_index,
+            method=ConsensusMethod.AVERAGE,
+        )
+
+        # 3) Barcelona packages under each strategy.
+        packages = {
+            "random": invalid_random_package(barcelona_data, DEFAULT_QUERY,
+                                             k=ctx.config.k,
+                                             seed=ctx.config.seed + size),
+            "individual": barcelona_kfc.build(individual_profile, DEFAULT_QUERY),
+            "batch": barcelona_kfc.build(batch_profile, DEFAULT_QUERY),
+            "non-personalized": non_personalized_package(
+                barcelona_kfc, profile, DEFAULT_QUERY
+            ),
+        }
+
+        # 4) Both protocols with the group's members as raters.
+        independent = independent_evaluation(
+            workers, packages, barcelona_index,
+            seed=ctx.config.seed + 19 * size, pool=pool,
+        )
+        comparative = comparative_evaluation(
+            workers, packages, barcelona_index, pairs=STRATEGY_PAIRS,
+            seed=ctx.config.seed + 23 * size,
+        )
+        cells[uniform] = CustomizationCell(
+            group_size=size,
+            mean_ratings={label: independent["mean_ratings"][label]
+                          for label in STRATEGIES},
+            supremacy=dict(comparative["supremacy"]),
+            n_interactions=len(session.interactions),
+            n_discarded=independent["n_discarded"],
+        )
+    return CustomizationStudyResult(cells=cells)

@@ -1,0 +1,92 @@
+"""Figure 3: the customization operators on the Paris map (Section 3.3).
+
+The paper's figure shows a REMOVE of a transportation stop, an ADD of
+an attraction, a REPLACE with a system-suggested library, and a
+GENERATE over a swept rectangle.  We run the same four operations on a
+freshly built package and print the before/after maps plus the
+operation log, including what the system recommended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.customize import CustomizationSession
+from repro.core.package import TravelPackage
+from repro.core.query import DEFAULT_QUERY
+from repro.data.poi import Category
+from repro.experiments.asciimap import render_package_map
+from repro.experiments.context import ExperimentContext
+from repro.geo.rectangle import Rectangle
+from repro.profiles.consensus import ConsensusMethod
+
+
+@dataclass
+class Figure3Result:
+    before: TravelPackage
+    after: TravelPackage
+    log: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = ["Figure 3: customization operators", "", "BEFORE:",
+                 render_package_map(self.before), "", "Operations:"]
+        lines.extend(f"  {entry}" for entry in self.log)
+        lines += ["", "AFTER:", render_package_map(self.after)]
+        return "\n".join(lines)
+
+
+def run(ctx: ExperimentContext) -> Figure3Result:
+    """Apply the figure's four operators to a fresh package."""
+    app = ctx.app("paris")
+    group = ctx.generator(salt=13).uniform_group(4, name="figure3-group")
+    profile = group.profile(ConsensusMethod.AVERAGE)
+    package = app.build_for_profile(profile, DEFAULT_QUERY)
+    session: CustomizationSession = app.customize(package, profile)
+    log: list[str] = []
+
+    # REMOVE: discard a transportation POI (the figure drops a bus stop).
+    for ci_index, ci in enumerate(session.package):
+        trans = [p for p in ci.pois if p.cat == Category.TRANSPORTATION]
+        if trans:
+            removed = session.remove(ci_index, trans[0].id, actor=0)
+            log.append(f"REMOVE({removed.name}, CI{ci_index + 1})")
+            break
+
+    # ADD: an attraction the user asked for by name/filter.
+    suggestions = session.suggest_additions(0, k=5,
+                                            category=Category.ATTRACTION)
+    if suggestions:
+        session.add(0, suggestions[0], actor=1)
+        log.append(f"ADD({suggestions[0].name}, CI1)")
+
+    # REPLACE: swap an attraction for the system's recommendation.
+    target_ci = 1 if session.package.k > 1 else 0
+    attrs = [p for p in session.package[target_ci].pois
+             if p.cat == Category.ATTRACTION]
+    if attrs:
+        suggestion = session.recommend_replacement(target_ci, attrs[0].id)
+        replacement = session.replace(target_ci, attrs[0].id, actor=2)
+        log.append(
+            f"REPLACE({attrs[0].name}, CI{target_ci + 1}) -> system suggests "
+            f"{suggestion.name if suggestion else '?'}; applied {replacement.name}"
+        )
+
+    # GENERATE: sweep a rectangle around the city centre.
+    center = ctx.dataset("paris").coordinates().mean(axis=0)
+    rect = Rectangle.around(float(center[0]), float(center[1]),
+                            width=0.03, height=0.02)
+    new_index = session.generate(rect, actor=3)
+    log.append(
+        f"GENERATE(RECTANGLE({rect.lat:.4f}, {rect.lon:.4f}, "
+        f"{rect.width}, {rect.height})) -> new CI{new_index + 1} with "
+        f"{len(session.package[new_index])} POIs"
+    )
+
+    return Figure3Result(before=package, after=session.package, log=log)
+
+
+def main(ctx: ExperimentContext | None = None) -> Figure3Result:
+    """CLI entry: run and print."""
+    result = run(ctx or ExperimentContext())
+    print(result.render())
+    return result

@@ -1,0 +1,40 @@
+"""Plain-text table rendering for experiment output.
+
+The runners print tables shaped like the paper's (rows per group
+variant, column blocks per consensus method) so a side-by-side reading
+against the original is mechanical.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str = "") -> str:
+    """Render rows as an aligned monospace table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    """A percentage cell, paper style (``97%``)."""
+    return f"{round(value):d}%"
+
+
+def rating(value: float) -> str:
+    """A 1-5 mean-rating cell, paper style (``3.77``)."""
+    return f"{value:.2f}"

@@ -1,0 +1,176 @@
+"""The synthetic workload behind Tables 2 and 3 (Section 4.3).
+
+For every combination of uniformity (uniform / non-uniform) and group
+size (small 5, medium 10, large 100), generate ``n_groups`` random
+groups; for each group compute a profile with each of the four
+consensus methods and build a Travel Package per profile (default query
+⟨1 acco, 1 trans, 1 rest, 3 attr⟩, infinite budget, gamma = 1, alpha
+and beta drawn uniformly from [0, 1] per package).  Additionally build
+one package for each group's *median user* (Table 3's comparator).
+
+Raw representativity / cohesiveness / personalization values are
+recorded per package; Table 2 and Table 3 normalize and pivot them.
+
+Note on alpha: our two-phase KFC places centroids with FCM, whose
+solution is invariant to a positive rescaling of its objective, so the
+random alpha affects Equation 1's *value* but not the optimizer's
+choices -- matching the paper's observation that centroid placement is
+driven by the clustering term alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.objective import ObjectiveWeights
+from repro.core.package import TravelPackage
+from repro.core.query import DEFAULT_QUERY
+from repro.experiments.context import ExperimentContext
+from repro.metrics.dimensions import (
+    personalization,
+    raw_cohesiveness_sum,
+    representativity,
+)
+from repro.profiles.consensus import ConsensusMethod
+from repro.profiles.generator import median_user_index
+from repro.profiles.group import GroupProfile
+
+#: All four consensus variants, in the paper's column order.
+CONSENSUS_METHODS: tuple[ConsensusMethod, ...] = (
+    ConsensusMethod.AVERAGE,
+    ConsensusMethod.LEAST_MISERY,
+    ConsensusMethod.PAIRWISE_DISAGREEMENT,
+    ConsensusMethod.DISAGREEMENT_VARIANCE,
+)
+
+#: The sweep's "median" pseudo-method key (Table 3's comparator).
+MEDIAN = "median"
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One package's raw optimization-dimension measurements.
+
+    ``method`` is a :class:`ConsensusMethod` value or :data:`MEDIAN`.
+    """
+
+    uniform: bool
+    size_label: str
+    group_index: int
+    method: str
+    raw_representativity: float
+    raw_cohesiveness_sum: float
+    raw_personalization: float
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep plus the derived normalizers."""
+
+    records: list[SweepRecord]
+    s_constant: float  # the paper's S: max observed aggregate distance
+
+    def select(self, uniform: bool | None = None, size_label: str | None = None,
+               method: str | None = None) -> list[SweepRecord]:
+        """Filter records by any combination of cell coordinates."""
+        return [
+            r for r in self.records
+            if (uniform is None or r.uniform == uniform)
+            and (size_label is None or r.size_label == size_label)
+            and (method is None or r.method == method)
+        ]
+
+    def normalized(self, record: SweepRecord) -> dict[str, float]:
+        """Min-max-normalized R / C / P for one record, over the sweep.
+
+        Cohesiveness first goes through Equation 3 (``S - raw``), then
+        all three dimensions are scaled by the sweep's observed ranges
+        (Section 4.3.1).
+        """
+        reps = [r.raw_representativity for r in self.records]
+        cohs = [self.s_constant - r.raw_cohesiveness_sum for r in self.records]
+        pers = [r.raw_personalization for r in self.records]
+
+        def scale(value: float, values: list[float]) -> float:
+            lo, hi = min(values), max(values)
+            if hi == lo:
+                return 0.0
+            return (value - lo) / (hi - lo)
+
+        return {
+            "R": scale(record.raw_representativity, reps),
+            "C": scale(self.s_constant - record.raw_cohesiveness_sum, cohs),
+            "P": scale(record.raw_personalization, pers),
+        }
+
+    def cell_means(self, uniform: bool, size_label: str,
+                   method: str) -> dict[str, float]:
+        """Mean normalized R / C / P over one cell's groups (a Table 2
+        entry, as fractions of 1)."""
+        rows = [self.normalized(r)
+                for r in self.select(uniform, size_label, method)]
+        if not rows:
+            raise ValueError(
+                f"no records for cell ({uniform}, {size_label}, {method})"
+            )
+        return {dim: float(np.mean([row[dim] for row in rows]))
+                for dim in ("R", "C", "P")}
+
+
+def _build_package(ctx: ExperimentContext, profile: GroupProfile,
+                   alpha: float, beta: float, seed_salt: int) -> TravelPackage:
+    """One KFC package with per-package alpha/beta (gamma fixed at 1),
+    per Section 4.3.1's randomized objective weights."""
+    app = ctx.app("paris")
+    weights = ObjectiveWeights(alpha=alpha, beta=beta, gamma=1.0)
+    return app.kfc.build(profile, DEFAULT_QUERY,
+                         seed=ctx.config.seed + seed_salt % 3,
+                         weights=weights)
+
+
+def run_sweep(ctx: ExperimentContext) -> SweepResult:
+    """Run the full synthetic sweep for Tables 2 and 3."""
+    app = ctx.app("paris")
+    rng = np.random.default_rng(ctx.config.seed + 17)
+    records: list[SweepRecord] = []
+
+    for uniform in (True, False):
+        generator = ctx.generator(salt=1 if uniform else 2)
+        for size_label, size in ctx.config.sizes.items():
+            for group_index in range(ctx.config.n_groups):
+                group = generator.group(size, uniform=uniform)
+                median_profile = group.singleton(
+                    median_user_index(group)
+                ).profile(ConsensusMethod.AVERAGE)
+
+                profiles: dict[str, GroupProfile] = {
+                    method.value: group.profile(method)
+                    for method in CONSENSUS_METHODS
+                }
+                profiles[MEDIAN] = median_profile
+
+                for method, profile in profiles.items():
+                    alpha = float(rng.uniform(0.0, 1.0))
+                    beta = float(rng.uniform(0.0, 1.0))
+                    package = _build_package(
+                        ctx, profile, alpha, beta,
+                        seed_salt=group_index * 7 + len(records),
+                    )
+                    records.append(SweepRecord(
+                        uniform=uniform,
+                        size_label=size_label,
+                        group_index=group_index,
+                        method=method,
+                        raw_representativity=representativity(package.centroids()),
+                        raw_cohesiveness_sum=raw_cohesiveness_sum(
+                            [ci.pois for ci in package]
+                        ),
+                        raw_personalization=personalization(
+                            [ci.pois for ci in package], profile, app.item_index
+                        ),
+                    ))
+
+    s_constant = max(r.raw_cohesiveness_sum for r in records)
+    return SweepResult(records=records, s_constant=s_constant)

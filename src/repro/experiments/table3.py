@@ -1,0 +1,94 @@
+"""Table 3: agreement between median users and groups (Section 4.3.3).
+
+For every sweep group, the *median user* (the member most similar to
+everyone else) gets their own Travel Package; the table reports, per
+consensus method, how close the group package's optimization dimensions
+come to the median user's -- "the sacrifice of individuals when joining
+groups".
+
+The paper does not spell out its similarity formula; we use
+
+    similarity = 1 - |normalized(group) - normalized(median)|
+
+per dimension, averaged over a cell's groups and shown as a percentage,
+where 100% means the group's package serves the median user exactly as
+well as their personal package would (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import format_table, pct
+from repro.experiments.synthetic_sweep import (
+    CONSENSUS_METHODS,
+    MEDIAN,
+    SweepResult,
+    run_sweep,
+)
+
+@dataclass
+class Table3Result:
+    """Median-user agreement per cell."""
+
+    sweep: SweepResult
+    #: Size labels in reporting order (from the experiment config).
+    sizes: tuple[str, ...]
+    #: cell -> {"R": .., "C": .., "P": ..} similarity fractions.
+    cells: dict[tuple[bool, str, str], dict[str, float]]
+
+    def render(self) -> str:
+        headers = ["groups", "size"]
+        for method in CONSENSUS_METHODS:
+            headers += [f"{method.tp_label}:R", "C", "P"]
+        rows = []
+        for uniform in (True, False):
+            for size in self.sizes:
+                row = ["uniform" if uniform else "non-uniform", size]
+                for method in CONSENSUS_METHODS:
+                    cell = self.cells[(uniform, size, method.value)]
+                    row += [pct(100 * cell["R"]), pct(100 * cell["C"]),
+                            pct(100 * cell["P"])]
+                rows.append(row)
+        return format_table(
+            headers, rows,
+            title=("Table 3: agreement between median users and groups "
+                   "(100% = highest agreement)"),
+        )
+
+
+def run(ctx: ExperimentContext, sweep: SweepResult | None = None) -> Table3Result:
+    """Derive Table 3 from the sweep's group and median records."""
+    sweep = sweep or ctx.synthetic_sweep()
+
+    cells: dict[tuple[bool, str, str], dict[str, float]] = {}
+    for uniform in (True, False):
+        for size in ctx.config.sizes:
+            medians = {
+                r.group_index: sweep.normalized(r)
+                for r in sweep.select(uniform, size, MEDIAN)
+            }
+            for method in CONSENSUS_METHODS:
+                sims: dict[str, list[float]] = {"R": [], "C": [], "P": []}
+                for record in sweep.select(uniform, size, method.value):
+                    group_dims = sweep.normalized(record)
+                    median_dims = medians[record.group_index]
+                    for dim in ("R", "C", "P"):
+                        sims[dim].append(
+                            1.0 - abs(group_dims[dim] - median_dims[dim])
+                        )
+                cells[(uniform, size, method.value)] = {
+                    dim: float(np.mean(values)) for dim, values in sims.items()
+                }
+    return Table3Result(sweep=sweep, sizes=tuple(ctx.config.sizes),
+                        cells=cells)
+
+
+def main(ctx: ExperimentContext | None = None) -> Table3Result:
+    """CLI entry: run and print."""
+    result = run(ctx or ExperimentContext())
+    print(result.render())
+    return result

@@ -1,0 +1,55 @@
+"""Table 5: comparative evaluation of the user study (Section 4.4.3).
+
+Pairwise supremacy percentages among the four personalized packages and
+the non-personalized one: each cell is how often the first package of
+the pair was preferred by attentive participants.  Expected shape:
+AVTP/LMTP win for uniform groups, ADTP/DVTP for non-uniform groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import format_table, pct
+from repro.experiments.user_study import (
+    COMPARISON_PAIRS,
+    UserStudyResult,
+    run_user_study,
+)
+
+@dataclass
+class Table5Result:
+    study: UserStudyResult
+    sizes: tuple[str, ...]
+
+    def render(self) -> str:
+        headers = ["groups", "size",
+                   *(f"{a} vs {b}" for a, b in COMPARISON_PAIRS)]
+        rows = []
+        for uniform in (True, False):
+            for size in self.sizes:
+                cell = self.study.cells[(uniform, size)]
+                rows.append([
+                    "uniform" if uniform else "non-uniform", size,
+                    *(pct(cell.supremacy[pair]) for pair in COMPARISON_PAIRS),
+                ])
+        return format_table(
+            headers, rows,
+            title=("Table 5: comparative evaluation "
+                   "(% of participants preferring the first package)"),
+        )
+
+
+def run(ctx: ExperimentContext,
+        study: UserStudyResult | None = None) -> Table5Result:
+    """Run (or reuse) the study workload and derive Table 5."""
+    return Table5Result(study=study or ctx.user_study(),
+                        sizes=tuple(ctx.config.sizes))
+
+
+def main(ctx: ExperimentContext | None = None) -> Table5Result:
+    """CLI entry: run and print."""
+    result = run(ctx or ExperimentContext())
+    print(result.render())
+    return result

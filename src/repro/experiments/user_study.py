@@ -1,0 +1,162 @@
+"""The shared user-study workload behind Tables 4 and 5 (Section 4.4.3).
+
+Recruits a simulated worker pool, forms the paper's group roster (five
+uniform and three non-uniform groups per size label), builds the six
+packages under test for every group --
+
+* ``random`` -- the injected random package with invalid CIs (the
+  attention check),
+* ``NPTP``  -- non-personalized (gamma = 0),
+* ``AVTP`` / ``LMTP`` / ``ADTP`` / ``DVTP`` -- personalized with each
+  consensus method --
+
+and runs both evaluation protocols with every group's raters (all
+members for small/medium groups, up to 30 sampled members for large
+ones, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.baselines import invalid_random_package, non_personalized_package
+from repro.core.package import TravelPackage
+from repro.core.query import DEFAULT_QUERY
+from repro.experiments.context import ExperimentContext
+from repro.experiments.synthetic_sweep import CONSENSUS_METHODS
+from repro.study.group_formation import form_study_groups
+from repro.study.protocols import comparative_evaluation, independent_evaluation
+from repro.study.workers import Platform, WorkerPool
+
+#: Package labels in reporting order.
+PACKAGE_LABELS = ("random", "NPTP", "AVTP", "LMTP", "ADTP", "DVTP")
+
+#: Table 5's pairs, in the paper's column order.
+COMPARISON_PAIRS: tuple[tuple[str, str], ...] = (
+    ("AVTP", "LMTP"), ("AVTP", "ADTP"), ("AVTP", "DVTP"), ("AVTP", "NPTP"),
+    ("LMTP", "ADTP"), ("LMTP", "DVTP"), ("LMTP", "NPTP"),
+    ("ADTP", "DVTP"), ("ADTP", "NPTP"),
+    ("DVTP", "NPTP"),
+)
+
+#: Cap on raters per large group (Section 4.4.1).
+MAX_RATERS = 30
+
+
+@dataclass
+class StudyCell:
+    """Aggregated protocol outputs for one (uniformity, size) cell."""
+
+    mean_ratings: dict[str, float] = field(default_factory=dict)
+    supremacy: dict[tuple[str, str], float] = field(default_factory=dict)
+    n_attentive: int = 0
+    n_discarded: int = 0
+
+
+@dataclass
+class UserStudyResult:
+    """Per-cell aggregates plus recruitment bookkeeping."""
+
+    cells: dict[tuple[bool, str], StudyCell]
+    n_recruited: int
+    n_retained: int
+    total_paid: float
+
+
+def _recruit_volumes(ctx: ExperimentContext) -> dict[Platform, int]:
+    """Paper volumes at full scale; proportionally smaller pools for
+    fast configurations (the roster must still fit)."""
+    needed = sum(ctx.config.sizes.values()) * (5 + 3)
+    if needed <= 900:
+        scale = max(needed / 900.0, 0.2)
+        return {
+            Platform.FIGURE_EIGHT: int(2000 * scale),
+            Platform.MTURK: int(1000 * scale),
+        }
+    return {p: p.default_recruits for p in Platform}
+
+
+def _group_packages(ctx: ExperimentContext, group, seed: int) -> dict[str, TravelPackage]:
+    """The six packages a group's members evaluate."""
+    app = ctx.app("paris")
+    packages: dict[str, TravelPackage] = {
+        "random": invalid_random_package(app.dataset, DEFAULT_QUERY,
+                                         k=ctx.config.k, seed=seed),
+        "NPTP": non_personalized_package(
+            app.kfc, group.profile(CONSENSUS_METHODS[0]), DEFAULT_QUERY
+        ),
+    }
+    for method in CONSENSUS_METHODS:
+        packages[method.tp_label] = app.kfc.build(
+            group.profile(method), DEFAULT_QUERY
+        )
+    return packages
+
+
+def run_user_study(ctx: ExperimentContext) -> UserStudyResult:
+    """The full Tables 4-5 workload."""
+    app = ctx.app("paris")
+    volumes = _recruit_volumes(ctx)
+    pool = WorkerPool.recruit(app.schema, seed=ctx.config.seed + 101,
+                              recruits=volumes)
+    roster = form_study_groups(pool, ctx.config.sizes,
+                               seed=ctx.config.seed + 202)
+    rng = np.random.default_rng(ctx.config.seed + 303)
+
+    cells: dict[tuple[bool, str], StudyCell] = {}
+    for (uniform, size_label), entries in roster.items():
+        cell = StudyCell()
+        rating_sums: dict[str, float] = {label: 0.0 for label in PACKAGE_LABELS}
+        rating_weight = 0
+        win_counts: dict[tuple[str, str], float] = {p: 0.0 for p in COMPARISON_PAIRS}
+        win_weight: dict[tuple[str, str], int] = {p: 0 for p in COMPARISON_PAIRS}
+
+        for group_index, (group, workers) in enumerate(entries):
+            packages = _group_packages(
+                ctx, group, seed=ctx.config.seed + group_index
+            )
+            raters = workers
+            if len(raters) > MAX_RATERS:
+                picks = rng.choice(len(raters), size=MAX_RATERS, replace=False)
+                raters = [raters[int(i)] for i in picks]
+
+            independent = independent_evaluation(
+                raters, packages, app.item_index,
+                seed=ctx.config.seed + 11 * group_index, pool=pool,
+            )
+            n = independent["n_attentive"]
+            if n > 0:
+                for label in PACKAGE_LABELS:
+                    rating_sums[label] += independent["mean_ratings"][label] * n
+                rating_weight += n
+            cell.n_attentive += n
+            cell.n_discarded += independent["n_discarded"]
+
+            comparative = comparative_evaluation(
+                raters, packages, app.item_index, pairs=COMPARISON_PAIRS,
+                seed=ctx.config.seed + 13 * group_index,
+            )
+            m = comparative["n_attentive"]
+            if m > 0:
+                for pair, value in comparative["supremacy"].items():
+                    win_counts[pair] += value * m
+                    win_weight[pair] += m
+
+        cell.mean_ratings = {
+            label: rating_sums[label] / rating_weight if rating_weight else float("nan")
+            for label in PACKAGE_LABELS
+        }
+        cell.supremacy = {
+            pair: win_counts[pair] / win_weight[pair] if win_weight[pair] else float("nan")
+            for pair in COMPARISON_PAIRS
+        }
+        cells[(uniform, size_label)] = cell
+
+    return UserStudyResult(
+        cells=cells,
+        n_recruited=sum(volumes.values()),
+        n_retained=len(pool),
+        total_paid=pool.total_paid(),
+    )

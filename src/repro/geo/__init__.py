@@ -1,0 +1,40 @@
+"""Geographic substrate for GroupTravel.
+
+The paper (Section 3.2) measures distances between POIs with an
+*equirectangular* approximation of the haversine formula: within a city
+the Earth's surface is locally flat, so projecting latitude/longitude onto
+a plane and taking the Euclidean norm is accurate to a fraction of a
+percent while being dramatically cheaper.  This subpackage implements
+
+* :mod:`repro.geo.distance` -- haversine (ground truth), equirectangular
+  (the paper's fast path), pairwise matrices and normalization helpers;
+* :mod:`repro.geo.grid` -- a uniform spatial grid index used by the
+  customization operators (``ADD``, ``REPLACE``, ``GENERATE``) to find
+  POIs near a location without scanning the whole city;
+* :mod:`repro.geo.rectangle` -- axis-aligned map rectangles backing the
+  ``GENERATE(RECTANGLE(x, y, w, h))`` operator.
+"""
+
+from repro.geo.distance import (
+    EARTH_RADIUS_KM,
+    equirectangular_km,
+    equirectangular_matrix,
+    haversine_km,
+    haversine_matrix,
+    max_pairwise_distance,
+    normalized_distance_matrix,
+)
+from repro.geo.grid import SpatialGrid
+from repro.geo.rectangle import Rectangle
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "Rectangle",
+    "SpatialGrid",
+    "equirectangular_km",
+    "equirectangular_matrix",
+    "haversine_km",
+    "haversine_matrix",
+    "max_pairwise_distance",
+    "normalized_distance_matrix",
+]

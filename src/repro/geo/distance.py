@@ -1,0 +1,112 @@
+"""Geographic distance functions.
+
+Two distance implementations are provided, mirroring Section 3.2 of the
+paper:
+
+``haversine_km``
+    The great-circle distance on a spherical Earth.  Treated as ground
+    truth in tests and benchmarks.
+
+``equirectangular_km``
+    The equirectangular (plate carree) approximation: project longitude
+    differences by the cosine of the mean latitude and apply Pythagoras.
+    The paper reports a ~30x speed-up over haversine with only 0.1%
+    precision loss at intra-city scales; ``benchmarks/bench_distance.py``
+    re-measures both numbers.
+
+All functions accept scalars or numpy arrays and broadcast element-wise.
+Distances are returned in kilometres.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Mean Earth radius in kilometres (IUGG value).
+EARTH_RADIUS_KM = 6371.0088
+
+
+def haversine_km(lat1, lon1, lat2, lon2):
+    """Great-circle distance between two points, in kilometres.
+
+    Accepts scalars or broadcastable numpy arrays of latitudes and
+    longitudes in degrees.
+
+    >>> round(float(haversine_km(48.8566, 2.3522, 41.3874, 2.1686)), 0)
+    831.0
+    """
+    lat1, lon1, lat2, lon2 = (np.radians(np.asarray(x, dtype=float))
+                              for x in (lat1, lon1, lat2, lon2))
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    a = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+
+
+def equirectangular_km(lat1, lon1, lat2, lon2):
+    """Equirectangular approximation of the great-circle distance.
+
+    Projects the longitude delta by ``cos`` of the mean latitude and takes
+    the Euclidean norm.  Accurate to well under 0.1% for intra-city
+    distances (see ``tests/geo/test_distance.py``), and much cheaper than
+    the haversine because it avoids the ``arcsin``/``sqrt``-of-``sin``
+    chain.
+
+    >>> float(equirectangular_km(48.85, 2.35, 48.85, 2.35))
+    0.0
+    """
+    lat1, lon1, lat2, lon2 = (np.radians(np.asarray(x, dtype=float))
+                              for x in (lat1, lon1, lat2, lon2))
+    x = (lon2 - lon1) * np.cos((lat1 + lat2) / 2.0)
+    y = lat2 - lat1
+    return EARTH_RADIUS_KM * np.sqrt(x * x + y * y)
+
+
+def _as_coord_array(coords) -> np.ndarray:
+    """Coerce a sequence of ``(lat, lon)`` pairs to an ``(n, 2)`` array."""
+    arr = np.asarray(coords, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) array of (lat, lon) pairs, got shape {arr.shape}")
+    return arr
+
+
+def haversine_matrix(coords) -> np.ndarray:
+    """Symmetric pairwise haversine distance matrix for ``(lat, lon)`` pairs."""
+    arr = _as_coord_array(coords)
+    lat = arr[:, 0][:, None]
+    lon = arr[:, 1][:, None]
+    return haversine_km(lat, lon, lat.T, lon.T)
+
+
+def equirectangular_matrix(coords) -> np.ndarray:
+    """Symmetric pairwise equirectangular distance matrix."""
+    arr = _as_coord_array(coords)
+    lat = arr[:, 0][:, None]
+    lon = arr[:, 1][:, None]
+    return equirectangular_km(lat, lon, lat.T, lon.T)
+
+
+def max_pairwise_distance(coords) -> float:
+    """Largest pairwise equirectangular distance among ``(lat, lon)`` pairs.
+
+    The paper normalizes every distance by "the largest observed distance
+    value"; this helper computes that normalizer.  Returns 0.0 for fewer
+    than two points so callers can divide defensively.
+    """
+    arr = _as_coord_array(coords)
+    if len(arr) < 2:
+        return 0.0
+    return float(equirectangular_matrix(arr).max())
+
+
+def normalized_distance_matrix(coords) -> np.ndarray:
+    """Pairwise equirectangular distances scaled into ``[0, 1]``.
+
+    Divides by the largest observed distance, per Section 3.2.  If all
+    points coincide the matrix is all zeros.
+    """
+    mat = equirectangular_matrix(coords)
+    largest = mat.max()
+    if largest <= 0.0:
+        return np.zeros_like(mat)
+    return mat / largest

@@ -1,0 +1,69 @@
+"""Axis-aligned geographic rectangles.
+
+The ``GENERATE(RECTANGLE(x, y, w, h))`` customization operator (Section
+3.3) lets a group member sweep out an area on the map and request a fresh
+Composite Item centred there.  Following the paper's convention, ``(x, y)``
+is the *upper-left* corner -- i.e. the north-west corner: maximum latitude,
+minimum longitude -- with width ``w`` extending east (longitude degrees)
+and height ``h`` extending south (latitude degrees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """A map rectangle anchored at its north-west corner.
+
+    Attributes:
+        lat: Latitude of the upper-left (north-west) corner, degrees.
+        lon: Longitude of the upper-left corner, degrees.
+        width: Longitudinal extent in degrees (eastward, >= 0).
+        height: Latitudinal extent in degrees (southward, >= 0).
+    """
+
+    lat: float
+    lon: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError("rectangle width and height must be non-negative")
+
+    @property
+    def north(self) -> float:
+        """Maximum latitude of the rectangle."""
+        return self.lat
+
+    @property
+    def south(self) -> float:
+        """Minimum latitude of the rectangle."""
+        return self.lat - self.height
+
+    @property
+    def west(self) -> float:
+        """Minimum longitude of the rectangle."""
+        return self.lon
+
+    @property
+    def east(self) -> float:
+        """Maximum longitude of the rectangle."""
+        return self.lon + self.width
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """``(lat, lon)`` of the rectangle's centre point."""
+        return (self.lat - self.height / 2.0, self.lon + self.width / 2.0)
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """Whether a point lies inside the rectangle (boundary inclusive)."""
+        return self.south <= lat <= self.north and self.west <= lon <= self.east
+
+    @classmethod
+    def around(cls, lat: float, lon: float, width: float, height: float) -> "Rectangle":
+        """Build a rectangle *centred* on ``(lat, lon)`` instead of anchored."""
+        return cls(lat=lat + height / 2.0, lon=lon - width / 2.0,
+                   width=width, height=height)

@@ -1,0 +1,28 @@
+"""Evaluation metrics: the paper's optimization dimensions and helpers.
+
+* :mod:`repro.metrics.similarity` -- cosine similarity;
+* :mod:`repro.metrics.dimensions` -- representativity (Eq. 2),
+  cohesiveness (Eq. 3) and personalization (Eq. 4) of a travel package;
+* :mod:`repro.metrics.uniformity` -- group uniformity (Section 4.1);
+* :mod:`repro.metrics.normalize` -- min-max normalization (Section 4.3.1).
+"""
+
+from repro.metrics.dimensions import (
+    cohesiveness,
+    personalization,
+    raw_cohesiveness_sum,
+    representativity,
+)
+from repro.metrics.normalize import min_max_normalize
+from repro.metrics.similarity import cosine
+from repro.metrics.uniformity import group_uniformity
+
+__all__ = [
+    "cohesiveness",
+    "cosine",
+    "group_uniformity",
+    "min_max_normalize",
+    "personalization",
+    "raw_cohesiveness_sum",
+    "representativity",
+]

@@ -1,0 +1,87 @@
+"""The three optimization dimensions (Section 4.2).
+
+These functions deliberately take plain ingredients -- centroid arrays,
+lists of POI lists, profile/index objects -- rather than a
+``TravelPackage``, so the metrics layer stays decoupled from the core;
+:mod:`repro.core.package` offers convenience wrappers.
+
+* ``representativity`` (Eq. 2): summed pairwise distance between CI
+  centroids -- the farther apart the CIs, the better the TP covers the
+  city.
+* ``cohesiveness`` (Eq. 3): a constant ``S`` minus the summed pairwise
+  POI distance within each CI -- compact CIs score high.
+* ``personalization`` (Eq. 4): summed cosine between every item vector
+  and the group profile vector of the item's category.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.poi import POI
+from repro.geo.distance import equirectangular_km
+from repro.metrics.similarity import cosine
+from repro.profiles.group import GroupProfile
+from repro.profiles.vectors import ItemVectorIndex
+
+
+def representativity(centroids: np.ndarray) -> float:
+    """Equation 2: ``sum_{l<=j} dist(mu_l, mu_j)`` over CI centroids.
+
+    Args:
+        centroids: ``(k, 2)`` array of ``(lat, lon)`` CI centroids.
+
+    The diagonal terms of the paper's double sum are zero, so this is
+    the sum over unordered centroid pairs.
+    """
+    arr = np.asarray(centroids, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected (k, 2) centroids, got shape {arr.shape}")
+    total = 0.0
+    for l in range(len(arr)):
+        for j in range(l + 1, len(arr)):
+            total += float(equirectangular_km(arr[l, 0], arr[l, 1],
+                                              arr[j, 0], arr[j, 1]))
+    return total
+
+
+def raw_cohesiveness_sum(composite_items: Iterable[Sequence[POI]]) -> float:
+    """The inner sum of Equation 3: total pairwise POI distance within
+    each CI, summed over CIs.  Lower means more compact."""
+    total = 0.0
+    for items in composite_items:
+        pois = list(items)
+        for a in range(len(pois)):
+            for b in range(a + 1, len(pois)):
+                total += float(equirectangular_km(pois[a].lat, pois[a].lon,
+                                                  pois[b].lat, pois[b].lon))
+    return total
+
+
+def cohesiveness(composite_items: Iterable[Sequence[POI]], s_constant: float) -> float:
+    """Equation 3: ``S - sum_CI sum_{i,j in CI} dist(i, j)``.
+
+    Args:
+        composite_items: The CIs, each a sequence of POIs.
+        s_constant: The paper's ``S`` -- the maximum observed aggregate
+            distance in a sweep, making cohesiveness non-negative and
+            "higher is better".
+    """
+    return s_constant - raw_cohesiveness_sum(composite_items)
+
+
+def personalization(composite_items: Iterable[Sequence[POI]],
+                    profile: GroupProfile,
+                    item_index: ItemVectorIndex) -> float:
+    """Equation 4: ``sum_CI sum_i cos(item_vector(i), g_cat(i))``.
+
+    Each POI is compared against the group profile vector of its *own*
+    category.
+    """
+    total = 0.0
+    for items in composite_items:
+        for poi in items:
+            total += cosine(item_index.vector(poi), profile.vector(poi.cat))
+    return total

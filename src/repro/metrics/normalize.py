@@ -1,0 +1,33 @@
+"""Min-max normalization (Section 4.3.1).
+
+The synthetic experiment reports every optimization dimension
+min-max-normalized over the sweep:
+
+    normalized(o) = (value(o) - min(o)) / (max(o) - min(o))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def min_max_normalize(values: Sequence[float]) -> np.ndarray:
+    """Scale values into [0, 1] by the observed min and max.
+
+    A constant sequence maps to all zeros (min == max leaves the
+    numerator zero everywhere; we avoid the 0/0 rather than invent a
+    midpoint).
+
+    >>> list(min_max_normalize([1.0, 2.0, 3.0]))
+    [0.0, 0.5, 1.0]
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return arr.copy()
+    lo = float(arr.min())
+    hi = float(arr.max())
+    if hi == lo:
+        return np.zeros_like(arr)
+    return (arr - lo) / (hi - lo)

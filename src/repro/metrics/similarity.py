@@ -1,0 +1,49 @@
+"""Cosine similarity.
+
+Used everywhere the paper compares preference-space vectors: item vector
+vs. group profile (Eq. 1 and 4), member vs. member (uniformity), and
+median-user agreement (Table 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two vectors.
+
+    Returns 0.0 when either vector is all-zero: a zero profile carries
+    no preference signal, and treating it as orthogonal to everything
+    is the conservative reading.
+
+    >>> cosine(np.array([1.0, 0.0]), np.array([1.0, 0.0]))
+    1.0
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    norm = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if norm == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / norm)
+
+
+def cosine_matrix(rows: np.ndarray) -> np.ndarray:
+    """Pairwise cosine matrix for the rows of an ``(n, d)`` array.
+
+    Zero rows produce zero similarity against everything (diagonal
+    included), consistent with :func:`cosine`.
+    """
+    arr = np.asarray(rows, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"expected an (n, d) matrix, got shape {arr.shape}")
+    norms = np.linalg.norm(arr, axis=1)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    unit = arr / safe[:, None]
+    sims = unit @ unit.T
+    zero = norms == 0.0
+    sims[zero, :] = 0.0
+    sims[:, zero] = 0.0
+    return sims

@@ -1,0 +1,50 @@
+"""User and group travel profiles.
+
+The paper's personalization rests on per-category preference vectors
+(Section 2.2): accommodation and transportation vectors are indexed by
+well-defined POI types, restaurant and attraction vectors by LDA latent
+topics.  Individual vectors are aggregated into a *group profile* with
+one of four consensus functions (Section 2.3).
+
+* :mod:`repro.profiles.schema` -- the shared dimension registry tying
+  profile vectors and item vectors to the same coordinate system;
+* :mod:`repro.profiles.user` -- ``UserProfile`` built from 0-5 ratings;
+* :mod:`repro.profiles.group` -- ``Group`` and ``GroupProfile``;
+* :mod:`repro.profiles.consensus` -- average preference, least misery,
+  pairwise disagreement, disagreement variance, and the combined
+  ``g_j = w1 * p_j + w2 * (1 - d_j)`` consensus;
+* :mod:`repro.profiles.vectors` -- item vectors (one-hot types for
+  acco/trans, LDA topic distributions for rest/attr);
+* :mod:`repro.profiles.generator` -- synthetic profile and group
+  generation (uniform / non-uniform, Section 4.1) and median users.
+"""
+
+from repro.profiles.consensus import (
+    ConsensusMethod,
+    average_pairwise_disagreement,
+    average_preference,
+    consensus_scores,
+    disagreement_variance,
+    least_misery_preference,
+)
+from repro.profiles.generator import GroupGenerator, median_user_index
+from repro.profiles.group import Group, GroupProfile
+from repro.profiles.schema import ProfileSchema
+from repro.profiles.user import UserProfile
+from repro.profiles.vectors import ItemVectorIndex
+
+__all__ = [
+    "ConsensusMethod",
+    "Group",
+    "GroupGenerator",
+    "GroupProfile",
+    "ItemVectorIndex",
+    "ProfileSchema",
+    "UserProfile",
+    "average_pairwise_disagreement",
+    "average_preference",
+    "consensus_scores",
+    "disagreement_variance",
+    "least_misery_preference",
+    "median_user_index",
+]

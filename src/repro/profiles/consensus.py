@@ -1,0 +1,151 @@
+"""Group consensus functions (Section 2.3).
+
+A consensus function aggregates the members' scores for each profile
+dimension into a single group score, combining
+
+* **group preference** ``p_j`` -- how much the group as a whole likes
+  dimension ``j`` (average preference, or least misery), and
+* **group disagreement** ``d_j`` -- how much members differ on it
+  (average pairwise disagreement, or variance),
+
+as ``g_j = w1 * p_j + w2 * (1 - d_j)`` with ``w1 + w2 = 1``.
+
+The four experimental variants (Section 4.1):
+
+=====================  =======================  ====================  ====
+variant                preference               disagreement          w1
+=====================  =======================  ====================  ====
+AVERAGE                average                  (ignored)             1.0
+LEAST_MISERY           least misery             (ignored)             1.0
+PAIRWISE_DISAGREEMENT  average                  average pairwise      0.5
+DISAGREEMENT_VARIANCE  average                  variance              0.5
+=====================  =======================  ====================  ====
+
+All functions operate on an ``(n_members, n_dims)`` score matrix whose
+entries lie in [0, 1], and return an ``(n_dims,)`` vector.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+def _validate_members(members: np.ndarray) -> np.ndarray:
+    arr = np.asarray(members, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] < 1:
+        raise ValueError(
+            f"expected an (n_members, n_dims) matrix with n_members >= 1, "
+            f"got shape {arr.shape}"
+        )
+    return arr
+
+
+def average_preference(members: np.ndarray) -> np.ndarray:
+    """``p_j = (1/|G|) * sum_u u_j`` -- the group mean per dimension."""
+    return _validate_members(members).mean(axis=0)
+
+
+def least_misery_preference(members: np.ndarray) -> np.ndarray:
+    """``p_j = min_u u_j`` -- the unhappiest member's score wins."""
+    return _validate_members(members).min(axis=0)
+
+
+def average_pairwise_disagreement(members: np.ndarray) -> np.ndarray:
+    """``d_j = 2 / (|G| (|G|-1)) * sum_{u<v} |u_j - v_j|``.
+
+    Zero for singleton groups (no pairs to disagree).
+    """
+    arr = _validate_members(members)
+    n = arr.shape[0]
+    if n < 2:
+        return np.zeros(arr.shape[1])
+    diffs = np.abs(arr[:, None, :] - arr[None, :, :])  # (n, n, d)
+    total = diffs.sum(axis=(0, 1)) / 2.0  # each unordered pair counted once
+    return total * 2.0 / (n * (n - 1))
+
+
+def disagreement_variance(members: np.ndarray) -> np.ndarray:
+    """``d_j = (1/|G|) * sum_u (u_j - mean_j)^2`` -- population variance."""
+    arr = _validate_members(members)
+    return arr.var(axis=0)
+
+
+class ConsensusMethod(str, enum.Enum):
+    """The four consensus variants used throughout the experiments."""
+
+    AVERAGE = "average"
+    LEAST_MISERY = "least_misery"
+    PAIRWISE_DISAGREEMENT = "pairwise_disagreement"
+    DISAGREEMENT_VARIANCE = "disagreement_variance"
+
+    @property
+    def w1(self) -> float:
+        """Preference weight for this variant (Section 4.1)."""
+        if self in (ConsensusMethod.AVERAGE, ConsensusMethod.LEAST_MISERY):
+            return 1.0
+        return 0.5
+
+    @property
+    def uses_disagreement(self) -> bool:
+        """Whether the disagreement term contributes (w1 < 1)."""
+        return self.w1 < 1.0
+
+    @property
+    def short_label(self) -> str:
+        """Compact label used in reproduced tables."""
+        return {
+            ConsensusMethod.AVERAGE: "average preference",
+            ConsensusMethod.LEAST_MISERY: "least misery",
+            ConsensusMethod.PAIRWISE_DISAGREEMENT: "pair-wise disagreement",
+            ConsensusMethod.DISAGREEMENT_VARIANCE: "disagreement variance",
+        }[self]
+
+    @property
+    def tp_label(self) -> str:
+        """The paper's TP acronym for this variant (Table 5)."""
+        return {
+            ConsensusMethod.AVERAGE: "AVTP",
+            ConsensusMethod.LEAST_MISERY: "LMTP",
+            ConsensusMethod.PAIRWISE_DISAGREEMENT: "ADTP",
+            ConsensusMethod.DISAGREEMENT_VARIANCE: "DVTP",
+        }[self]
+
+
+def consensus_scores(members: np.ndarray, method: ConsensusMethod | str,
+                     w1: float | None = None) -> np.ndarray:
+    """The combined consensus ``g_j = w1 * p_j + w2 * (1 - d_j)``.
+
+    Args:
+        members: ``(n_members, n_dims)`` score matrix in [0, 1].
+        method: Which of the four variants to apply.
+        w1: Override the variant's default preference weight.  ``w2`` is
+            always ``1 - w1``.
+
+    Returns:
+        ``(n_dims,)`` group scores in [0, 1] (guaranteed because scores,
+        ``1 - d_j`` and the convex combination all stay in [0, 1]).
+    """
+    method = ConsensusMethod(method)
+    weight = method.w1 if w1 is None else w1
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError("w1 must lie in [0, 1]")
+    arr = _validate_members(members)
+
+    if method == ConsensusMethod.LEAST_MISERY:
+        preference = least_misery_preference(arr)
+    else:
+        preference = average_preference(arr)
+
+    if not method.uses_disagreement and w1 is None:
+        return preference
+
+    if method == ConsensusMethod.DISAGREEMENT_VARIANCE:
+        disagreement = disagreement_variance(arr)
+    elif method == ConsensusMethod.PAIRWISE_DISAGREEMENT:
+        disagreement = average_pairwise_disagreement(arr)
+    else:
+        disagreement = np.zeros_like(preference)
+
+    return weight * preference + (1.0 - weight) * (1.0 - disagreement)

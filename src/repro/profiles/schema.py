@@ -1,0 +1,72 @@
+"""The profile schema: a shared coordinate system for preferences.
+
+User profiles, group profiles and item vectors must all live in the same
+per-category vector spaces for the cosine similarities of Equations 1
+and 4 to make sense.  ``ProfileSchema`` pins those spaces down: for each
+category it records an ordered tuple of *dimension labels* --
+
+* the POI types for accommodation and transportation (well-defined,
+  Section 2.2), and
+* the LDA topic labels for restaurants and attractions.
+
+A schema is typically derived from a fitted
+:class:`~repro.profiles.vectors.ItemVectorIndex`, guaranteeing item and
+profile vectors agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.poi import CATEGORIES, Category
+from repro.data.taxonomy import types_for
+
+
+@dataclass(frozen=True)
+class ProfileSchema:
+    """Dimension labels per category.
+
+    Attributes:
+        dimensions: Mapping from category to its ordered dimension
+            labels.  All four categories must be present.
+    """
+
+    dimensions: dict[Category, tuple[str, ...]]
+
+    def __post_init__(self) -> None:
+        missing = [c for c in CATEGORIES if c not in self.dimensions]
+        if missing:
+            raise ValueError(f"schema is missing categories: {missing}")
+        for cat, labels in self.dimensions.items():
+            if len(labels) == 0:
+                raise ValueError(f"category {cat} has no dimensions")
+
+    def size(self, category: Category | str) -> int:
+        """Number of dimensions for one category."""
+        return len(self.dimensions[Category.parse(category)])
+
+    def labels(self, category: Category | str) -> tuple[str, ...]:
+        """Ordered dimension labels for one category."""
+        return self.dimensions[Category.parse(category)]
+
+    def total_size(self) -> int:
+        """Total dimensions across the four categories (for concatenated
+        vectors, e.g. the uniformity computation)."""
+        return sum(len(v) for v in self.dimensions.values())
+
+    @classmethod
+    def with_topic_counts(cls, n_rest_topics: int, n_attr_topics: int) -> "ProfileSchema":
+        """A schema using taxonomy types for acco/trans and anonymous
+        topic slots for rest/attr (labels filled in once LDA is fitted)."""
+        return cls(dimensions={
+            Category.ACCOMMODATION: types_for(Category.ACCOMMODATION),
+            Category.TRANSPORTATION: types_for(Category.TRANSPORTATION),
+            Category.RESTAURANT: tuple(f"rest-topic-{i}" for i in range(n_rest_topics)),
+            Category.ATTRACTION: tuple(f"attr-topic-{i}" for i in range(n_attr_topics)),
+        })
+
+    @classmethod
+    def default(cls) -> "ProfileSchema":
+        """The default schema: taxonomy types + 8 topics per modelled
+        category (matching the taxonomy's 8 restaurant/attraction types)."""
+        return cls.with_topic_counts(8, 8)

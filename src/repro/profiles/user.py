@@ -1,0 +1,96 @@
+"""Single-user travel profiles.
+
+Per Section 2.2, each user holds one preference vector per POI category.
+The raw input is a 0-5 star rating per dimension (POI type for
+accommodation/transportation, latent topic for restaurants/attractions);
+the stored score is the rating normalized by the category's rating sum:
+
+    u_j = r_j / sum_k r_k
+
+so every category vector is non-negative and sums to one (or is all
+zeros if the user rated nothing in that category).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.data.poi import CATEGORIES, Category
+from repro.profiles.schema import ProfileSchema
+
+#: Rating bounds from the elicitation form.
+MIN_RATING = 0.0
+MAX_RATING = 5.0
+
+
+class UserProfile:
+    """A user's per-category preference vectors.
+
+    Args:
+        schema: The dimension registry the vectors live in.
+        vectors: Mapping from category to a normalized score vector of
+            the schema's size.  Scores must be in [0, 1].
+
+    Prefer the :meth:`from_ratings` constructor, which performs the
+    paper's normalization from raw 0-5 ratings.
+    """
+
+    def __init__(self, schema: ProfileSchema,
+                 vectors: Mapping[Category, np.ndarray]) -> None:
+        self.schema = schema
+        self._vectors: dict[Category, np.ndarray] = {}
+        for cat in CATEGORIES:
+            if cat not in vectors:
+                raise ValueError(f"profile is missing category {cat}")
+            vec = np.asarray(vectors[cat], dtype=float)
+            if vec.shape != (schema.size(cat),):
+                raise ValueError(
+                    f"category {cat} vector has shape {vec.shape}, "
+                    f"schema expects ({schema.size(cat)},)"
+                )
+            if (vec < 0).any() or (vec > 1).any():
+                raise ValueError(f"scores for {cat} must lie in [0, 1]")
+            self._vectors[cat] = vec.copy()
+
+    @classmethod
+    def from_ratings(cls, schema: ProfileSchema,
+                     ratings: Mapping[Category, np.ndarray]) -> "UserProfile":
+        """Build a profile from raw 0-5 ratings (the paper's elicitation).
+
+        Each category's ratings are normalized by their sum, yielding
+        scores in [0, 1].  An all-zero rating vector stays all-zero.
+        """
+        vectors: dict[Category, np.ndarray] = {}
+        for cat in CATEGORIES:
+            raw = np.asarray(ratings[cat], dtype=float)
+            if (raw < MIN_RATING).any() or (raw > MAX_RATING).any():
+                raise ValueError(f"ratings for {cat} must lie in [0, 5]")
+            total = raw.sum()
+            vectors[cat] = raw / total if total > 0 else np.zeros_like(raw)
+        return cls(schema, vectors)
+
+    def vector(self, category: Category | str) -> np.ndarray:
+        """The score vector for one category (a defensive copy)."""
+        return self._vectors[Category.parse(category)].copy()
+
+    def concatenated(self) -> np.ndarray:
+        """All four category vectors concatenated in canonical order.
+
+        Used for the group-uniformity cosine (Section 4.1).
+        """
+        return np.concatenate([self._vectors[cat] for cat in CATEGORIES])
+
+    def replace(self, category: Category | str, vector: np.ndarray) -> "UserProfile":
+        """A new profile with one category vector swapped out."""
+        cat = Category.parse(category)
+        vectors = dict(self._vectors)
+        vectors[cat] = np.asarray(vector, dtype=float)
+        return UserProfile(self.schema, vectors)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{cat.value}={np.round(self._vectors[cat], 3)}" for cat in CATEGORIES
+        )
+        return f"UserProfile({parts})"

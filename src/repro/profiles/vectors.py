@@ -1,0 +1,168 @@
+"""Item vectors: POIs embedded in the profile coordinate system.
+
+Section 3.2 defines, for each POI ``i``, a vector in its category's
+dimension space:
+
+* accommodation / transportation -- a one-hot indicator of the POI's
+  type;
+* restaurants / attractions -- the POI's LDA topic distribution.
+
+:class:`ItemVectorIndex` fits the two LDA models (one for restaurants,
+one for attractions) over a dataset's tag bags, stores every POI's
+vector, and exposes the :class:`~repro.profiles.schema.ProfileSchema`
+whose dimension labels are the taxonomy types and the LDA topic labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import POIDataset
+from repro.data.poi import CATEGORIES, Category, POI
+from repro.data.taxonomy import types_for
+from repro.profiles.schema import ProfileSchema
+from repro.topics.corpus import TagCorpus
+from repro.topics.lda import LatentDirichletAllocation
+
+#: Categories whose vectors come from LDA topic distributions.
+_TOPIC_CATEGORIES = (Category.RESTAURANT, Category.ATTRACTION)
+
+
+class ItemVectorIndex:
+    """Per-POI item vectors over a fitted profile schema.
+
+    Build with :meth:`fit`; then :meth:`vector` returns the embedding
+    of any POI in the dataset, and :attr:`schema` is the matching
+    dimension registry for user/group profiles.
+    """
+
+    def __init__(self, schema: ProfileSchema,
+                 vectors: dict[int, np.ndarray],
+                 topic_models: dict[Category, LatentDirichletAllocation]) -> None:
+        self.schema = schema
+        self._vectors = vectors
+        self._topic_models = topic_models
+
+    @classmethod
+    def fit(cls, dataset: POIDataset, n_rest_topics: int = 8,
+            n_attr_topics: int = 8, lda_iterations: int = 150,
+            lda_alpha: float | None = None, seed: int = 0) -> "ItemVectorIndex":
+        """Fit item vectors for every POI in ``dataset``.
+
+        Args:
+            dataset: The city's POIs.
+            n_rest_topics: LDA topics for restaurants.
+            n_attr_topics: LDA topics for attractions.
+            lda_iterations: Gibbs sweeps per LDA model.
+            lda_alpha: Document-topic smoothing; ``None`` uses the
+                model default (``50 / K``).  The smooth default is the
+                regime in which dense (disagreement-based) group
+                profiles align well with every item, as the paper's
+                Table 2 reflects.
+            seed: Random seed shared by both topic models.
+        """
+        vectors: dict[int, np.ndarray] = {}
+        topic_models: dict[Category, LatentDirichletAllocation] = {}
+        dimensions: dict[Category, tuple[str, ...]] = {}
+
+        # One-hot type vectors for the well-defined categories.
+        for cat in (Category.ACCOMMODATION, Category.TRANSPORTATION):
+            type_list = types_for(cat)
+            type_index = {t: i for i, t in enumerate(type_list)}
+            dimensions[cat] = type_list
+            for poi in dataset.by_category(cat):
+                vec = np.zeros(len(type_list))
+                slot = type_index.get(poi.type)
+                if slot is not None:
+                    vec[slot] = 1.0
+                vectors[poi.id] = vec
+
+        # LDA topic distributions for restaurants and attractions.
+        topic_counts = {Category.RESTAURANT: n_rest_topics,
+                        Category.ATTRACTION: n_attr_topics}
+        for cat in _TOPIC_CATEGORIES:
+            pois = dataset.by_category(cat)
+            n_topics = topic_counts[cat]
+            if not pois:
+                dimensions[cat] = tuple(f"{cat.value}-topic-{i}" for i in range(n_topics))
+                continue
+            corpus = TagCorpus([p.tags for p in pois], min_count=2)
+            lda = LatentDirichletAllocation(
+                n_topics=n_topics, alpha=lda_alpha,
+                n_iterations=lda_iterations, seed=seed,
+            ).fit(corpus)
+            topic_models[cat] = lda
+            theta = lda.document_topics()
+            for poi, row in zip(pois, theta):
+                vectors[poi.id] = row.copy()
+            dimensions[cat] = tuple(lda.topic_labels(n_words=3))
+
+        schema = ProfileSchema(dimensions=dimensions)
+        return cls(schema, vectors, topic_models)
+
+    @classmethod
+    def transfer(cls, dataset: POIDataset,
+                 source: "ItemVectorIndex", seed: int = 0) -> "ItemVectorIndex":
+        """Embed a *new* city's POIs in ``source``'s coordinate system.
+
+        Accommodation and transportation vectors are one-hot as usual
+        (the taxonomy is city-independent); restaurant and attraction
+        vectors are fold-in LDA inferences under the source city's
+        topic models.  The resulting index shares ``source.schema``, so
+        profiles built or refined against one city transfer to the
+        other -- the mechanism behind the customization study's
+        Paris-to-Barcelona evaluation (Section 4.4.4).
+        """
+        vectors: dict[int, np.ndarray] = {}
+        for cat in (Category.ACCOMMODATION, Category.TRANSPORTATION):
+            type_list = source.schema.labels(cat)
+            type_index = {t: i for i, t in enumerate(type_list)}
+            for poi in dataset.by_category(cat):
+                vec = np.zeros(len(type_list))
+                slot = type_index.get(poi.type)
+                if slot is not None:
+                    vec[slot] = 1.0
+                vectors[poi.id] = vec
+        for cat in _TOPIC_CATEGORIES:
+            lda = source._topic_models.get(cat)
+            n_topics = source.schema.size(cat)
+            for offset, poi in enumerate(dataset.by_category(cat)):
+                if lda is None:
+                    vectors[poi.id] = np.full(n_topics, 1.0 / n_topics)
+                else:
+                    vectors[poi.id] = lda.infer_theta(
+                        list(poi.tags), seed=seed + offset
+                    )
+        return cls(source.schema, vectors, dict(source._topic_models))
+
+    def vector(self, poi: POI | int) -> np.ndarray:
+        """The item vector for a POI (by object or id)."""
+        poi_id = poi.id if isinstance(poi, POI) else poi
+        try:
+            return self._vectors[poi_id].copy()
+        except KeyError:
+            raise KeyError(f"no item vector for POI id {poi_id}") from None
+
+    def __contains__(self, poi_id: int) -> bool:
+        return poi_id in self._vectors
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def topic_model(self, category: Category | str) -> LatentDirichletAllocation:
+        """The fitted LDA model for ``rest`` or ``attr``."""
+        cat = Category.parse(category)
+        try:
+            return self._topic_models[cat]
+        except KeyError:
+            raise KeyError(f"no topic model fitted for category {cat}") from None
+
+    def matrix(self, pois: list[POI]) -> np.ndarray:
+        """Stack item vectors for same-category POIs into an ``(n, d)``
+        matrix (all POIs must share one category)."""
+        if not pois:
+            raise ValueError("matrix() needs at least one POI")
+        cats = {p.cat for p in pois}
+        if len(cats) > 1:
+            raise ValueError(f"matrix() requires a single category, got {cats}")
+        return np.vstack([self.vector(p) for p in pois])

@@ -1,0 +1,24 @@
+"""Statistics used by the paper's validation (Section 4.3.1 / 4.4.1).
+
+* :mod:`repro.stats.anova` -- one-way ANOVA (F statistic and p-value),
+  the paper's significance test for differences across consensus
+  methods;
+* :mod:`repro.stats.correlation` -- the Pearson correlation coefficient
+  backing the PCC claims of Section 4.3.3;
+* :mod:`repro.stats.sample_size` -- the central-limit-theorem sample
+  size formula (Equation 5) used to size the user study.
+
+All of these are implemented from scratch and property-tested against
+``scipy.stats`` in the test suite.
+"""
+
+from repro.stats.anova import AnovaResult, one_way_anova
+from repro.stats.correlation import pearson_correlation
+from repro.stats.sample_size import required_sample_size
+
+__all__ = [
+    "AnovaResult",
+    "one_way_anova",
+    "pearson_correlation",
+    "required_sample_size",
+]

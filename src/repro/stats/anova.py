@@ -1,0 +1,92 @@
+"""One-way ANOVA (Section 4.3.1).
+
+The paper validates every observation on the optimization dimensions
+"using the One-way ANOVA procedure, with the F-measure of MSB/MSE and
+the significance level of p = 0.05", reporting results as
+``F(n, k) = x given p < 0.05``.
+
+``one_way_anova`` computes exactly that: the between-group mean square
+over the within-group mean square, plus the p-value from the F
+distribution's survival function.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.special import f_distribution_sf
+
+#: The paper's significance level.
+SIGNIFICANCE_LEVEL = 0.05
+
+
+@dataclass(frozen=True)
+class AnovaResult:
+    """Outcome of a one-way ANOVA.
+
+    Attributes:
+        f_value: The F statistic, MSB / MSE.
+        p_value: ``P(F >= f_value)`` under the null of equal means.
+        df_between: First degrees of freedom (groups - 1).
+        df_within: Second degrees of freedom (observations - groups).
+    """
+
+    f_value: float
+    p_value: float
+    df_between: int
+    df_within: int
+
+    @property
+    def significant(self) -> bool:
+        """Whether the difference is significant at p = 0.05."""
+        return self.p_value < SIGNIFICANCE_LEVEL
+
+    def __str__(self) -> str:
+        comp = "<" if self.significant else ">="
+        return (f"F({self.df_between},{self.df_within}) = {self.f_value:.2f} "
+                f"given p {comp} {SIGNIFICANCE_LEVEL}")
+
+
+def one_way_anova(*groups: Sequence[float]) -> AnovaResult:
+    """One-way ANOVA over two or more sample groups.
+
+    Args:
+        *groups: Each a sequence of observations for one treatment
+            (e.g. one consensus method's representativity values).
+
+    Raises:
+        ValueError: Fewer than two groups, an empty group, or too few
+            total observations to leave within-group degrees of freedom.
+    """
+    if len(groups) < 2:
+        raise ValueError("one-way ANOVA needs at least two groups")
+    arrays = [np.asarray(g, dtype=float) for g in groups]
+    if any(len(a) == 0 for a in arrays):
+        raise ValueError("every group must contain at least one observation")
+
+    n_total = sum(len(a) for a in arrays)
+    n_groups = len(arrays)
+    df_between = n_groups - 1
+    df_within = n_total - n_groups
+    if df_within <= 0:
+        raise ValueError("not enough observations for within-group variance")
+
+    grand_mean = float(np.concatenate(arrays).mean())
+    ss_between = sum(len(a) * (float(a.mean()) - grand_mean) ** 2 for a in arrays)
+    ss_within = sum(float(((a - a.mean()) ** 2).sum()) for a in arrays)
+
+    ms_between = ss_between / df_between
+    ms_within = ss_within / df_within
+    if ms_within == 0.0:
+        # Degenerate: no within-group variance.  Any between-group
+        # difference is then infinitely significant; none means F = 0.
+        f_value = float("inf") if ms_between > 0 else 0.0
+        p_value = 0.0 if ms_between > 0 else 1.0
+    else:
+        f_value = ms_between / ms_within
+        p_value = f_distribution_sf(f_value, df_between, df_within)
+    return AnovaResult(f_value=f_value, p_value=p_value,
+                       df_between=df_between, df_within=df_within)

@@ -1,0 +1,39 @@
+"""Pearson correlation coefficient (Section 4.3.1).
+
+The paper reports PCC values to back its trend claims, e.g. uniform
+groups' cohesiveness correlating at +0.98 with group size under average
+preference.  ``pearson_correlation`` is the textbook estimator:
+
+    PCC = cov(x, y) / (std(x) * std(y))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """The Pearson correlation of two equal-length samples, in [-1, 1].
+
+    Raises:
+        ValueError: Length mismatch or fewer than two observations.
+        ZeroDivisionError: Either sample is constant (undefined PCC);
+            failing loudly beats silently returning 0 for a quantity
+            the paper interprets as a trend strength.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape:
+        raise ValueError(f"length mismatch: {xs.shape} vs {ys.shape}")
+    if xs.ndim != 1 or len(xs) < 2:
+        raise ValueError("PCC needs two 1-d samples of length >= 2")
+    dx = xs - xs.mean()
+    dy = ys - ys.mean()
+    denom = float(np.sqrt((dx ** 2).sum() * (dy ** 2).sum()))
+    if denom == 0.0:
+        raise ZeroDivisionError("PCC is undefined for constant samples")
+    value = float((dx * dy).sum() / denom)
+    # Guard rounding drift just outside [-1, 1].
+    return max(-1.0, min(1.0, value))

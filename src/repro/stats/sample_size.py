@@ -1,0 +1,61 @@
+"""Sample-size calculation (Equation 5, Section 4.4.1).
+
+The paper sizes its user study with the central-limit-theorem formula
+
+    sample size = (z'^2 * p * (1 - p) / e^2)
+                  / (1 + z'^2 * p * (1 - p) / (e^2 * N))
+
+where ``N`` is the population size, ``e`` the margin of error, ``p``
+the expected proportion, and ``z'`` the z-score of the requested
+confidence level.  With the paper's parameters (N = 200,000, e = 3%,
+95% confidence, p = 50%) it yields at least 1062 participants.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: z-scores for common confidence levels.
+_Z_SCORES: dict[float, float] = {
+    0.80: 1.2816,
+    0.85: 1.4395,
+    0.90: 1.6449,
+    0.95: 1.9600,
+    0.98: 2.3263,
+    0.99: 2.5758,
+}
+
+
+def z_score(confidence: float) -> float:
+    """The two-sided z-score for a confidence level in (0, 1).
+
+    Only the standard levels are tabulated; an unknown level raises so
+    callers do not silently get a wrong interval.
+    """
+    try:
+        return _Z_SCORES[round(confidence, 2)]
+    except KeyError:
+        raise ValueError(
+            f"unsupported confidence level {confidence}; "
+            f"known: {sorted(_Z_SCORES)}"
+        ) from None
+
+
+def required_sample_size(population: int, margin_of_error: float = 0.03,
+                         confidence: float = 0.95,
+                         proportion: float = 0.5) -> int:
+    """Equation 5, rounded up.
+
+    >>> required_sample_size(200_000)
+    1062
+    """
+    if population < 1:
+        raise ValueError("population must be positive")
+    if not 0.0 < margin_of_error < 1.0:
+        raise ValueError("margin_of_error must be in (0, 1)")
+    if not 0.0 < proportion < 1.0:
+        raise ValueError("proportion must be in (0, 1)")
+    z = z_score(confidence)
+    numerator = z * z * proportion * (1.0 - proportion) / (margin_of_error ** 2)
+    denominator = 1.0 + numerator / population
+    return math.ceil(numerator / denominator)

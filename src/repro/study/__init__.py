@@ -1,0 +1,43 @@
+"""Simulated crowd user study (Section 4.4).
+
+The paper recruited 3000 workers from Figure-Eight and Amazon
+Mechanical Turk, elicited travel profiles, and had group members rate
+Travel Packages on a 1-5 scale, independently and pairwise.  Offline we
+simulate that pipeline end to end:
+
+* :mod:`repro.study.workers` -- worker pools with per-platform
+  retention rates, diligence, approval rates and a payment ledger;
+* :mod:`repro.study.satisfaction` -- the frozen rating model mapping a
+  worker's profile/package affinity (plus diligence-scaled noise) to a
+  1-5 interest score;
+* :mod:`repro.study.protocols` -- the independent and comparative
+  evaluation protocols with the paper's attention-check filtering
+  (participants who preferred the injected invalid random TP are
+  discarded);
+* :mod:`repro.study.customization_sim` -- simulated member
+  interactions with a package (taste-driven removes/adds/replaces) to
+  drive the customization experiments.
+
+Tables 4-7 measure *relative* satisfaction between TP variants; a
+rating model monotone in profile/TP affinity reproduces those orderings
+without ever being fitted to the paper's numbers (see DESIGN.md).
+"""
+
+from repro.study.customization_sim import simulate_group_interactions
+from repro.study.protocols import (
+    comparative_evaluation,
+    independent_evaluation,
+)
+from repro.study.satisfaction import package_affinity, rate_package
+from repro.study.workers import Platform, Worker, WorkerPool
+
+__all__ = [
+    "Platform",
+    "Worker",
+    "WorkerPool",
+    "comparative_evaluation",
+    "independent_evaluation",
+    "package_affinity",
+    "rate_package",
+    "simulate_group_interactions",
+]

@@ -1,0 +1,101 @@
+"""Simulated member interactions with a Travel Package (Section 4.4.4).
+
+The customization study asked group members to interact with a package
+"by adding, removing, replacing POIs or generating new CIs".  The
+simulator reproduces taste-driven behaviour: each member
+
+* **removes** the package POI least aligned with their own profile,
+* **adds** the suggestion (nearest POIs to a CI's centroid) best
+  aligned with their profile, and
+* **replaces** another poorly-aligned POI with the system's
+  recommendation,
+
+in a configurable number of rounds.  Interactions carry the member's
+index as ``actor``, so both the individual and the batch refinement
+strategies can consume the same log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.customize import CustomizationSession
+from repro.metrics.similarity import cosine
+from repro.profiles.group import Group
+from repro.profiles.user import UserProfile
+from repro.profiles.vectors import ItemVectorIndex
+
+
+def _poi_alignment(profile: UserProfile, poi, item_index: ItemVectorIndex) -> float:
+    """Cosine between a member's category vector and one POI."""
+    return cosine(item_index.vector(poi), profile.vector(poi.cat))
+
+
+def _worst_aligned(session: CustomizationSession, profile: UserProfile,
+                   min_ci_size: int = 2) -> tuple[int, int] | None:
+    """The (ci_index, poi_id) the member likes least, skipping CIs that
+    removal would shrink below ``min_ci_size``."""
+    worst: tuple[float, int, int] | None = None
+    for ci_index, ci in enumerate(session.package):
+        if len(ci) < min_ci_size + 1:
+            continue
+        for poi in ci.pois:
+            score = _poi_alignment(profile, poi, session.item_index)
+            if worst is None or score < worst[0]:
+                worst = (score, ci_index, poi.id)
+    if worst is None:
+        return None
+    return worst[1], worst[2]
+
+
+def simulate_member_interactions(session: CustomizationSession,
+                                 profile: UserProfile, actor: int,
+                                 rng: np.random.Generator,
+                                 rounds: int = 1) -> None:
+    """One member's editing session: per round, a remove, an add, and a
+    replace, each driven by the member's own tastes."""
+    for _ in range(rounds):
+        # REMOVE: drop the least liked POI anywhere in the package.
+        target = _worst_aligned(session, profile)
+        if target is not None:
+            session.remove(target[0], target[1], actor=actor)
+
+        # ADD: scan every CI's nearby suggestions (the member browses
+        # the whole map) and insert the best-aligned POI where it fits.
+        best_add: tuple[float, int, object] | None = None
+        for ci_index in range(session.package.k):
+            for poi in session.suggest_additions(ci_index, k=12):
+                score = _poi_alignment(profile, poi, session.item_index)
+                if best_add is None or score > best_add[0]:
+                    best_add = (score, ci_index, poi)
+        if best_add is not None:
+            session.add(best_add[1], best_add[2], actor=actor)
+
+        # REPLACE: swap another disliked POI for the system's pick.
+        target = _worst_aligned(session, profile)
+        if target is not None:
+            ci_index, poi_id = target
+            if session.recommend_replacement(ci_index, poi_id) is not None:
+                session.replace(ci_index, poi_id, actor=actor)
+
+
+def simulate_group_interactions(session: CustomizationSession, group: Group,
+                                seed: int = 0, rounds: int = 1,
+                                true_profiles: list[UserProfile] | None = None) -> None:
+    """Every group member edits the shared package in turn.
+
+    Matches the study's flow: members interact with the displayed CIs;
+    the pooled log then feeds the batch strategy, the per-actor slices
+    the individual strategy.
+
+    Args:
+        true_profiles: When given (one per member, aligned with the
+            group order), interactions are driven by these instead of
+            the members' stated profiles -- interactions reveal *true*
+            tastes, which is exactly the signal refinement mines.
+    """
+    rng = np.random.default_rng(seed)
+    for actor, member in enumerate(group.members):
+        tastes = true_profiles[actor] if true_profiles else member
+        simulate_member_interactions(session, tastes, actor, rng,
+                                     rounds=rounds)

@@ -1,0 +1,182 @@
+"""Forming study groups from a worker pool (Section 4.4.1).
+
+The paper "used the generated user profiles to build groups with
+varying characteristics, i.e., size and uniformity".  Given a recruited
+:class:`~repro.study.workers.WorkerPool`, this module assembles groups
+meeting the uniformity thresholds:
+
+* **uniform** groups grow greedily around a seed worker, always adding
+  the pool member most similar to the current group, until the target
+  size is reached with uniformity above 0.85;
+* **non-uniform** groups admit workers greedily only while the running
+  average pairwise cosine stays below 0.20.
+
+Workers are not reused across groups from one call, matching a study
+where each participant evaluates with one group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.uniformity import group_uniformity
+from repro.profiles.generator import NON_UNIFORM_THRESHOLD, UNIFORM_THRESHOLD
+from repro.profiles.group import Group
+from repro.study.workers import Worker, WorkerPool
+
+
+class GroupFormationError(RuntimeError):
+    """Raised when the pool cannot produce a group with the requested
+    size and uniformity."""
+
+
+def _vector(worker: Worker) -> np.ndarray:
+    return worker.profile.concatenated()
+
+
+def form_group(pool_workers: list[Worker], size: int, uniform: bool,
+               rng: np.random.Generator,
+               used: set[int]) -> tuple[Group, list[Worker]]:
+    """One group from the unused part of the pool.
+
+    Returns the group and its member workers, and marks them used.
+    """
+    available = [w for w in pool_workers if w.id not in used]
+    if len(available) < size:
+        raise GroupFormationError(
+            f"pool has only {len(available)} unused workers, need {size}"
+        )
+    order = rng.permutation(len(available))
+
+    if uniform:
+        members, group = _best_uniform_group(available, order, size)
+        if group is None:
+            raise GroupFormationError(
+                f"could not reach the uniform threshold with size {size}"
+            )
+    else:
+        members = _grow_non_uniform(available, order, size)
+        group = Group([w.profile for w in members], name=f"non-uniform-{size}")
+        if group_uniformity(group) >= NON_UNIFORM_THRESHOLD:
+            raise GroupFormationError(
+                f"could not reach the non-uniform threshold with size {size} "
+                f"(got {group_uniformity(group):.3f})"
+            )
+    for worker in members:
+        used.add(worker.id)
+    return group, members
+
+
+def _best_uniform_group(available: list[Worker], order: np.ndarray,
+                        size: int, max_seeds: int = 25) -> tuple[list[Worker], Group | None]:
+    """Grow candidate groups around several seed workers and return the
+    first (best, if none passes) meeting the uniform threshold.
+
+    A sparse-taste seed can never anchor a uniform group, so trying
+    multiple seeds is essential with a mixed-taste pool.
+    """
+    best_members: list[Worker] = []
+    best_uniformity = -1.0
+    units = _unit_matrix(available)
+    for seed_pos in range(min(max_seeds, len(order))):
+        members = _grow_uniform(available, order, size,
+                                seed_index=int(order[seed_pos]),
+                                units=units)
+        group = Group([w.profile for w in members], name=f"uniform-{size}")
+        uniformity = group_uniformity(group)
+        if uniformity > UNIFORM_THRESHOLD:
+            return members, group
+        if uniformity > best_uniformity:
+            best_uniformity = uniformity
+            best_members = members
+    return best_members, None
+
+
+def _unit_matrix(workers: list[Worker]) -> np.ndarray:
+    """Row-normalized profile vectors for a worker list (zero rows stay
+    zero, giving them zero cosine against everyone)."""
+    matrix = np.vstack([_vector(w) for w in workers])
+    norms = np.linalg.norm(matrix, axis=1)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    return matrix / safe[:, None]
+
+
+def _grow_uniform(available: list[Worker], order: np.ndarray,
+                  size: int, seed_index: int = 0,
+                  units: np.ndarray | None = None) -> list[Worker]:
+    """Greedy similarity growth around a chosen seed worker.
+
+    Vectorized: a running "minimum cosine to the current members" array
+    is updated once per admitted member, so growth is
+    O(size * pool * dims) instead of quadratic in the pool.
+    """
+    if units is None:
+        units = _unit_matrix(available)
+    chosen = [seed_index]
+    min_sims = units @ units[seed_index]
+    min_sims[seed_index] = -np.inf
+    while len(chosen) < size:
+        next_index = int(np.argmax(min_sims))
+        chosen.append(next_index)
+        min_sims = np.minimum(min_sims, units @ units[next_index])
+        min_sims[next_index] = -np.inf
+    return [available[i] for i in chosen]
+
+
+def _grow_non_uniform(available: list[Worker], order: np.ndarray,
+                      size: int, max_starts: int = 40) -> list[Worker]:
+    """Greedy admission keeping the average pairwise cosine low.
+
+    A dense-taste (archetype) starting worker poisons the greedy pass
+    -- everyone resembles them -- so admission is retried from several
+    starting workers along the permutation.
+    """
+    units = _unit_matrix(available)
+    last_progress = 0
+    for start in range(min(max_starts, len(order))):
+        members_idx: list[int] = []
+        # Running sum, per pool worker, of cosines to current members.
+        sim_sums = np.zeros(len(available))
+        pair_sum = 0.0
+        for idx in order[start:]:
+            if len(members_idx) == size:
+                break
+            i = int(idx)
+            n = len(members_idx)
+            new_pairs = pair_sum + sim_sums[i]
+            total_pairs = (n + 1) * n / 2.0
+            if n > 0 and new_pairs / total_pairs >= NON_UNIFORM_THRESHOLD * 0.95:
+                continue
+            members_idx.append(i)
+            sim_sums += units @ units[i]
+            pair_sum = new_pairs
+        if len(members_idx) == size:
+            return [available[i] for i in members_idx]
+        last_progress = max(last_progress, len(members_idx))
+    raise GroupFormationError(
+        f"pool exhausted at {last_progress}/{size} non-uniform members"
+    )
+
+
+def form_study_groups(pool: WorkerPool, sizes: dict[str, int],
+                      groups_per_size_uniform: int = 5,
+                      groups_per_size_non_uniform: int = 3,
+                      seed: int = 0) -> dict[tuple[bool, str], list[tuple[Group, list[Worker]]]]:
+    """The study's full group roster (Section 4.4.1): per size label,
+    5 uniform and 3 non-uniform groups.
+
+    Returns:
+        Mapping from ``(uniform, size_label)`` to a list of
+        ``(group, member_workers)`` pairs.
+    """
+    rng = np.random.default_rng(seed)
+    used: set[int] = set()
+    roster: dict[tuple[bool, str], list[tuple[Group, list[Worker]]]] = {}
+    for uniform, count in ((True, groups_per_size_uniform),
+                           (False, groups_per_size_non_uniform)):
+        for label, size in sizes.items():
+            entries = []
+            for _ in range(count):
+                entries.append(form_group(pool.workers, size, uniform, rng, used))
+            roster[(uniform, label)] = entries
+    return roster

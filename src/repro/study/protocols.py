@@ -1,0 +1,142 @@
+"""Evaluation protocols of the user study (Sections 4.4.3 / 4.4.4).
+
+*Independent evaluation*: every participant rates every package under
+test on the 1-5 scale.  An *attention check* -- the injected random
+package with invalid CIs -- filters participants: anyone whose rating
+of the check package is their strict maximum "preferred that TP" and
+is discarded, exactly as in the paper.
+
+*Comparative evaluation*: participants see pairs of packages and pick
+the one they prefer; results are reported as the percentage of
+participants preferring the first of each pair ("supremacy").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.package import TravelPackage
+from repro.profiles.vectors import ItemVectorIndex
+from repro.study.satisfaction import prefers, session_ratings
+from repro.study.workers import EVALUATION_PAYMENT, Worker, WorkerPool
+
+#: Key under which the attention-check package travels in the package
+#: mapping handed to the protocols.
+ATTENTION_CHECK = "random"
+
+
+def _filter_attentive(ratings: dict[int, dict[str, int]],
+                      check_label: str | None) -> tuple[list[int], list[int]]:
+    """Split worker ids into (attentive, discarded) by the paper's rule:
+    a worker who rated the check package strictly above every other
+    package preferred it, and is discarded."""
+    attentive: list[int] = []
+    discarded: list[int] = []
+    for worker_id, scores in ratings.items():
+        if check_label is None or check_label not in scores:
+            attentive.append(worker_id)
+            continue
+        check_score = scores[check_label]
+        others = [s for label, s in scores.items() if label != check_label]
+        if others and check_score > max(others):
+            discarded.append(worker_id)
+        else:
+            attentive.append(worker_id)
+    return attentive, discarded
+
+
+def independent_evaluation(workers: Sequence[Worker],
+                           packages: Mapping[str, TravelPackage],
+                           item_index: ItemVectorIndex,
+                           seed: int = 0,
+                           check_label: str | None = ATTENTION_CHECK,
+                           pool: WorkerPool | None = None) -> dict:
+    """Run the independent protocol.
+
+    Args:
+        workers: The participants (typically one group's members).
+        packages: Label -> package under test.  If ``check_label`` is a
+            key, that package acts as the attention check.
+        item_index: Item vectors for the rating model.
+        seed: Determinism knob for rating noise.
+        check_label: Which label is the attention check (None disables
+            filtering).
+        pool: When given, evaluation payments are credited to it.
+
+    Returns:
+        A dict with ``mean_ratings`` (label -> average over attentive
+        workers), ``n_discarded``, and ``n_attentive``.
+    """
+    rng = np.random.default_rng(seed)
+    ratings: dict[int, dict[str, int]] = {}
+    for worker in workers:
+        ratings[worker.id] = session_ratings(worker, packages, item_index, rng)
+        if pool is not None:
+            pool.pay(worker.id, EVALUATION_PAYMENT)
+
+    attentive, discarded = _filter_attentive(ratings, check_label)
+    attentive_set = set(attentive)
+    mean_ratings = {
+        label: float(np.mean([
+            ratings[w][label] for w in ratings if w in attentive_set
+        ])) if attentive else float("nan")
+        for label in packages
+    }
+    return {
+        "mean_ratings": mean_ratings,
+        "n_attentive": len(attentive),
+        "n_discarded": len(discarded),
+    }
+
+
+def comparative_evaluation(workers: Sequence[Worker],
+                           packages: Mapping[str, TravelPackage],
+                           item_index: ItemVectorIndex,
+                           pairs: Sequence[tuple[str, str]] | None = None,
+                           seed: int = 0,
+                           check_label: str | None = ATTENTION_CHECK) -> dict:
+    """Run the comparative protocol.
+
+    Workers failing the attention check (determined by an independent
+    rating pass over the same packages) are excluded, mirroring the
+    paper's "discarded input from participants who preferred that TP".
+
+    Args:
+        pairs: The package-label pairs to compare.  Defaults to all
+            unordered pairs of non-check labels, in mapping order.
+
+    Returns:
+        A dict with ``supremacy`` mapping ``(first, second)`` to the
+        percentage of attentive workers preferring ``first``, and the
+        attentive/discarded counts.
+    """
+    rng = np.random.default_rng(seed)
+    ratings = {
+        worker.id: session_ratings(worker, packages, item_index, rng)
+        for worker in workers
+    }
+    attentive_ids, discarded = _filter_attentive(ratings, check_label)
+    attentive = [w for w in workers if w.id in set(attentive_ids)]
+
+    labels = [l for l in packages if l != check_label]
+    if pairs is None:
+        pairs = [(labels[i], labels[j])
+                 for i in range(len(labels)) for j in range(i + 1, len(labels))]
+
+    supremacy: dict[tuple[str, str], float] = {}
+    for first, second in pairs:
+        if not attentive:
+            supremacy[(first, second)] = float("nan")
+            continue
+        wins = sum(
+            prefers(w, packages[first], packages[second], item_index, rng)
+            for w in attentive
+        )
+        supremacy[(first, second)] = 100.0 * wins / len(attentive)
+    return {
+        "supremacy": supremacy,
+        "n_attentive": len(attentive),
+        "n_discarded": len(discarded),
+    }

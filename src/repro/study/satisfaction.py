@@ -1,0 +1,118 @@
+"""The frozen satisfaction model: profile/package affinity -> 1-5 rating.
+
+Participants in the study indicated "their interest in visiting POIs in
+the TP" on a 1-5 scale, for a *session* of several packages.  The
+simulation models that judgement in two parts:
+
+* **affinity** -- the mean cosine between the rater's *true* taste
+  vectors (not the noisier stated profile) and the package's item
+  vectors (the noiseless preference core);
+* **anchoring** -- a rater's stars are relative to what they saw in the
+  session (a well-documented context effect), plus a weaker absolute
+  component (picky raters with concentrated tastes score everything
+  lower, matching the paper's lower non-uniform rows):
+
+      rating = 3 + G_rel * (a - session mean) + G_abs * (a - 0.5) + noise
+
+  with diligence-scaled Gaussian noise, clipped and rounded to 1..5.
+
+Low-diligence workers produce noisy (occasionally nonsensical) ratings,
+which is what the paper's injected invalid package is designed to
+catch.
+
+The constants below were calibrated once so plausible packages land in
+the paper's observed 2.6-3.9 band and are *frozen*: experiments never
+tune them against the target tables (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.package import TravelPackage
+from repro.metrics.similarity import cosine
+from repro.profiles.user import UserProfile
+from repro.profiles.vectors import ItemVectorIndex
+from repro.study.workers import Worker
+
+#: Stars per unit of affinity above/below the session anchor.
+_GAIN_RELATIVE = 8.0
+#: Stars per unit of affinity above/below the global midpoint.
+_GAIN_ABSOLUTE = 2.0
+#: Global affinity midpoint for the absolute component.
+_GLOBAL_ANCHOR = 0.5
+#: Rating-noise standard deviation for a perfectly diligent worker.
+_BASE_NOISE = 0.45
+#: Noise scale for pairwise (comparative) choices, in affinity units.
+_CHOICE_NOISE = 0.02
+
+
+def package_affinity(profile: UserProfile, package: TravelPackage,
+                     item_index: ItemVectorIndex) -> float:
+    """Mean cosine between a user's category vectors and the package's
+    item vectors -- the noiseless core of the rating model."""
+    pois = package.all_pois()
+    if not pois:
+        return 0.0
+    total = sum(
+        cosine(item_index.vector(p), profile.vector(p.cat)) for p in pois
+    )
+    return total / len(pois)
+
+
+def _noise_sd(worker: Worker) -> float:
+    return _BASE_NOISE / max(worker.diligence, 0.05)
+
+
+def session_ratings(worker: Worker, packages: Mapping[str, TravelPackage],
+                    item_index: ItemVectorIndex,
+                    rng: np.random.Generator) -> dict[str, int]:
+    """1-5 ratings for a session's packages, anchored to the session.
+
+    The anchor is the mean affinity over the packages presented, so a
+    rater's stars express "better/worse than what I was shown" -- the
+    within-session contrast both evaluation protocols rely on.
+    """
+    affinities = {
+        label: package_affinity(worker.true_profile, package, item_index)
+        for label, package in packages.items()
+    }
+    anchor = float(np.mean(list(affinities.values()))) if affinities else _GLOBAL_ANCHOR
+    ratings: dict[str, int] = {}
+    for label, affinity in affinities.items():
+        utility = (3.0
+                   + _GAIN_RELATIVE * (affinity - anchor)
+                   + _GAIN_ABSOLUTE * (affinity - _GLOBAL_ANCHOR)
+                   + float(rng.normal(0.0, _noise_sd(worker))))
+        ratings[label] = int(np.clip(round(utility), 1, 5))
+    return ratings
+
+
+def rate_package(worker: Worker, package: TravelPackage,
+                 item_index: ItemVectorIndex,
+                 rng: np.random.Generator) -> int:
+    """A single-package 1-5 rating (anchored only globally).
+
+    Prefer :func:`session_ratings` when the rater saw several packages;
+    this variant exists for one-off ratings and tests.
+    """
+    affinity = package_affinity(worker.true_profile, package, item_index)
+    utility = (3.0 + (_GAIN_RELATIVE + _GAIN_ABSOLUTE)
+               * (affinity - _GLOBAL_ANCHOR) / 2.0
+               + float(rng.normal(0.0, _noise_sd(worker))))
+    return int(np.clip(round(utility), 1, 5))
+
+
+def prefers(worker: Worker, first: TravelPackage, second: TravelPackage,
+            item_index: ItemVectorIndex, rng: np.random.Generator) -> bool:
+    """Pairwise choice for the comparative protocol: pick the package
+    with the higher noisy affinity (fresh noise per side, matching two
+    independent looks at two maps)."""
+    sd = _CHOICE_NOISE / max(worker.diligence, 0.05)
+    a = (package_affinity(worker.true_profile, first, item_index)
+         + float(rng.normal(0.0, sd)))
+    b = (package_affinity(worker.true_profile, second, item_index)
+         + float(rng.normal(0.0, sd)))
+    return a > b

@@ -1,0 +1,172 @@
+"""Simulated crowd workers and platforms (Section 4.4.1).
+
+Reproduces the study's recruitment mechanics: 2000 workers from
+Figure-Eight and 1000 from Amazon Mechanical Turk; profiles with
+invalid email addresses/identifiers pruned at the paper's retention
+rates (90.1% and 96.6%); $0.01 paid per profile collection and $0.50
+per package evaluation; workers below a 90% approval rate excluded from
+the customization study.
+
+Every worker carries a *travel profile* (the preferences they stated on
+the elicitation form) and a *diligence* in (0, 1] controlling how noisy
+their ratings are -- the knob that makes attention-check filtering
+meaningful.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.profiles.generator import GroupGenerator
+from repro.profiles.schema import ProfileSchema
+from repro.profiles.user import UserProfile
+
+#: Payment per completed profile form (Section 4.4.1).
+PROFILE_PAYMENT = 0.01
+#: Payment per package evaluation (Section 4.4.1).
+EVALUATION_PAYMENT = 0.50
+
+
+class Platform(str, enum.Enum):
+    """The two crowdsourcing platforms of the study."""
+
+    FIGURE_EIGHT = "figure-eight"
+    MTURK = "mturk"
+
+    @property
+    def retention_rate(self) -> float:
+        """Share of recruited workers surviving profile validation
+        (90.1% / 96.6%, Section 4.4.1)."""
+        return {Platform.FIGURE_EIGHT: 0.901, Platform.MTURK: 0.966}[self]
+
+    @property
+    def default_recruits(self) -> int:
+        """Paper recruitment volume per platform (2000 / 1000)."""
+        return {Platform.FIGURE_EIGHT: 2000, Platform.MTURK: 1000}[self]
+
+
+@dataclass(frozen=True)
+class Worker:
+    """A simulated study participant.
+
+    Attributes:
+        id: Unique worker id.
+        platform: Where the worker was recruited.
+        profile: The travel preferences they *stated* on the
+            elicitation form -- what group profiles are built from.
+        true_profile: The worker's actual tastes, which drive their
+            ratings and their interactions with packages.  Stated
+            profiles are noisy observations of true ones (elicitation
+            error); the gap is what profile *refinement* recovers
+            (Section 3.3: "make the group profile robust").
+        diligence: In (0, 1]; scales down rating noise.  Low-diligence
+            workers are the ones attention checks catch.
+        approval_rate: Simulated historical task-approval rate.
+    """
+
+    id: int
+    platform: Platform
+    profile: UserProfile
+    true_profile: UserProfile
+    diligence: float
+    approval_rate: float
+
+
+@dataclass
+class WorkerPool:
+    """A recruited, validated worker pool with a payment ledger."""
+
+    workers: list[Worker] = field(default_factory=list)
+    payments: dict[int, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def pay(self, worker_id: int, amount: float) -> None:
+        """Credit a worker (profile collection, evaluations, ...)."""
+        if amount < 0:
+            raise ValueError("payments must be non-negative")
+        self.payments[worker_id] = self.payments.get(worker_id, 0.0) + amount
+
+    def total_paid(self) -> float:
+        """Total spend across the pool."""
+        return float(sum(self.payments.values()))
+
+    def with_min_approval(self, threshold: float = 0.9) -> list[Worker]:
+        """Workers above an approval-rate threshold (the customization
+        study recruited workers 'with an approval rate superior to
+        90%')."""
+        return [w for w in self.workers if w.approval_rate > threshold]
+
+    @classmethod
+    def recruit(cls, schema: ProfileSchema, seed: int = 0,
+                recruits: dict[Platform, int] | None = None,
+                sparse_taste_share: float = 0.45,
+                n_archetypes: int = 12,
+                archetype_jitter: float = 0.9,
+                elicitation_noise: float = 0.8) -> "WorkerPool":
+        """Recruit and validate a pool per the paper's setup.
+
+        Args:
+            schema: Profile coordinate system for elicitation.
+            seed: Determinism knob.
+            recruits: Override per-platform recruitment volumes
+                (defaults to the paper's 2000 + 1000).
+            sparse_taste_share: Fraction of workers with concentrated
+                (sparse) tastes rather than dense preference spreads.
+                Real rater populations contain both, and the study's
+                *non-uniform* groups are only formable from
+                concentrated-taste members (see DESIGN.md).
+            n_archetypes: Number of taste archetypes dense workers
+                cluster around; clustering is what makes *uniform*
+                groups formable from a recruited pool.
+            archetype_jitter: Within-archetype rating spread.
+            elicitation_noise: Rating-space noise between a worker's
+                true tastes and what they state on the form.  This gap
+                is what interaction-driven profile refinement recovers.
+
+        Workers failing profile validation (the per-platform retention
+        rate) are dropped before entering the pool; retained workers
+        are paid the profile fee.
+        """
+        rng = np.random.default_rng(seed)
+        generator = GroupGenerator(schema, seed=seed + 1)
+        archetypes = [generator.random_base() for _ in range(n_archetypes)]
+        pool = cls()
+        worker_id = 0
+        volumes = recruits or {p: p.default_recruits for p in Platform}
+        for platform, volume in volumes.items():
+            for _ in range(volume):
+                worker_id += 1
+                if rng.uniform() > platform.retention_rate:
+                    continue  # invalid email address / identifier
+                if rng.uniform() < sparse_taste_share:
+                    true_ratings = generator.sparse_ratings(dims_per_category=2)
+                else:
+                    base = archetypes[int(rng.integers(n_archetypes))]
+                    true_ratings = generator.jittered_ratings(base, archetype_jitter)
+                stated_ratings = generator.elicitation_ratings(
+                    true_ratings, elicitation_noise
+                )
+                worker = Worker(
+                    id=worker_id,
+                    platform=platform,
+                    profile=UserProfile.from_ratings(schema, stated_ratings),
+                    true_profile=UserProfile.from_ratings(schema, true_ratings),
+                    diligence=float(np.clip(rng.beta(6, 2), 0.05, 1.0)),
+                    approval_rate=float(np.clip(rng.beta(14, 1.2), 0.0, 1.0)),
+                )
+                pool.workers.append(worker)
+                pool.pay(worker.id, PROFILE_PAYMENT)
+        return pool
+
+    def sample(self, n: int, seed: int = 0) -> list[Worker]:
+        """A deterministic random sample of ``n`` workers."""
+        if n > len(self.workers):
+            raise ValueError(f"cannot sample {n} from a pool of {len(self.workers)}")
+        rng = np.random.default_rng(seed)
+        picks = rng.choice(len(self.workers), size=n, replace=False)
+        return [self.workers[int(i)] for i in picks]

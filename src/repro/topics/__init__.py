@@ -1,0 +1,17 @@
+"""Topic-model substrate: LDA over POI tags.
+
+Section 2.2 of the paper runs Latent Dirichlet Allocation over the tags
+of restaurants and attractions to discover latent preference dimensions
+("japanese, sushi", "beer, wine, bistro", ...).  The resulting
+per-document topic distributions become the *item vectors* for those
+categories (Section 3.2), and users rate the topics to form profiles.
+
+* :mod:`repro.topics.corpus` builds a bag-of-words corpus from POI tag
+  bags;
+* :mod:`repro.topics.lda` is a from-scratch collapsed-Gibbs LDA.
+"""
+
+from repro.topics.corpus import TagCorpus
+from repro.topics.lda import LatentDirichletAllocation
+
+__all__ = ["LatentDirichletAllocation", "TagCorpus"]

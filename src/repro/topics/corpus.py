@@ -1,0 +1,72 @@
+"""Bag-of-words corpora over POI tags.
+
+``TagCorpus`` turns a sequence of tag bags (one per POI) into the integer
+token streams LDA consumes, and keeps the vocabulary mapping needed to
+translate topics back into representative tags for display to users
+(the paper shows each latent topic to raters "represented by
+representative tags").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+class TagCorpus:
+    """A vocabulary-indexed corpus of tag documents.
+
+    Args:
+        documents: One tag sequence per POI.  Order is preserved; the
+            i-th document corresponds to the i-th POI handed in.
+        min_count: Tags occurring fewer than this many times across the
+            corpus are dropped (rare-word pruning, standard for LDA).
+    """
+
+    def __init__(self, documents: Iterable[Sequence[str]], min_count: int = 1) -> None:
+        docs = [tuple(doc) for doc in documents]
+        counts = Counter(tag for doc in docs for tag in doc)
+        self._vocab: dict[str, int] = {}
+        for tag, count in counts.most_common():
+            if count >= min_count:
+                self._vocab[tag] = len(self._vocab)
+        self._words: tuple[str, ...] = tuple(self._vocab)
+        self._docs: list[np.ndarray] = [
+            np.array([self._vocab[t] for t in doc if t in self._vocab], dtype=np.int64)
+            for doc in docs
+        ]
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct tags kept after pruning."""
+        return len(self._vocab)
+
+    @property
+    def vocabulary(self) -> tuple[str, ...]:
+        """Tags ordered by their integer id."""
+        return self._words
+
+    def document(self, index: int) -> np.ndarray:
+        """Token-id array for one document (may be empty)."""
+        return self._docs[index]
+
+    def documents(self) -> list[np.ndarray]:
+        """All token-id arrays, in input order."""
+        return list(self._docs)
+
+    def word(self, token_id: int) -> str:
+        """The tag string for a token id."""
+        return self._words[token_id]
+
+    def token_id(self, tag: str) -> int:
+        """The token id for a tag.  Raises ``KeyError`` if pruned/unknown."""
+        return self._vocab[tag]
+
+    def total_tokens(self) -> int:
+        """Total token count across all documents."""
+        return int(sum(len(d) for d in self._docs))

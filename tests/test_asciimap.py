@@ -1,0 +1,60 @@
+"""Tests for the ASCII map renderer behind Figures 1 and 3."""
+
+import pytest
+
+from repro.core.composite import CompositeItem
+from repro.core.package import TravelPackage
+from repro.experiments.asciimap import (
+    CATEGORY_LETTERS,
+    render_itinerary,
+    render_package_map,
+)
+from repro.data.poi import Category
+
+
+@pytest.fixture()
+def tiny_package(poi_factory):
+    ci1 = CompositeItem([
+        poi_factory(poi_id=1, cat="acco", lat=48.85, lon=2.33, poi_type="hotel"),
+        poi_factory(poi_id=2, cat="rest", lat=48.851, lon=2.332),
+    ])
+    ci2 = CompositeItem([
+        poi_factory(poi_id=3, cat="attr", lat=48.87, lon=2.36,
+                    poi_type="monument"),
+        poi_factory(poi_id=4, cat="trans", lat=48.872, lon=2.361,
+                    poi_type="bus stop"),
+    ])
+    return TravelPackage([ci1, ci2])
+
+
+class TestMap:
+    def test_contains_ci_digits_and_centroids(self, tiny_package):
+        out = render_package_map(tiny_package, width=40, height=12)
+        assert "1" in out and "2" in out and "*" in out
+        assert "lat" in out and "lon" in out
+
+    def test_dimensions(self, tiny_package):
+        out = render_package_map(tiny_package, width=30, height=8)
+        lines = out.splitlines()
+        # border + 8 rows + border + legend
+        assert len(lines) == 11
+        assert all(len(line) == 32 for line in lines[:10])
+
+    def test_single_point_package(self, poi_factory):
+        package = TravelPackage([CompositeItem([poi_factory(poi_id=1)])])
+        out = render_package_map(package)
+        assert "1" in out or "*" in out  # degenerate span handled
+
+
+class TestItinerary:
+    def test_letters_match_paper_legend(self):
+        assert CATEGORY_LETTERS[Category.ACCOMMODATION] == "A"
+        assert CATEGORY_LETTERS[Category.TRANSPORTATION] == "T"
+        assert CATEGORY_LETTERS[Category.RESTAURANT] == "R"
+        assert CATEGORY_LETTERS[Category.ATTRACTION] == "H"
+
+    def test_itinerary_lists_days_and_costs(self, tiny_package):
+        out = render_itinerary(tiny_package)
+        assert "DAY 1" in out and "DAY 2" in out
+        assert "[A]" in out and "[R]" in out and "[H]" in out and "[T]" in out
+        assert "cost" in out

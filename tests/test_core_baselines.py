@@ -1,0 +1,69 @@
+"""Tests for the baseline packages."""
+
+import pytest
+
+from repro.core.baselines import (
+    invalid_random_package,
+    non_personalized_package,
+    random_package,
+)
+from repro.core.query import GroupQuery
+
+
+class TestRandomPackage:
+    def test_valid_and_k_cis(self, small_city, default_query):
+        tp = random_package(small_city, default_query, k=4, seed=1)
+        assert tp.k == 4
+        assert tp.is_valid(default_query)
+
+    def test_deterministic(self, small_city, default_query):
+        a = random_package(small_city, default_query, seed=2)
+        b = random_package(small_city, default_query, seed=2)
+        assert [ci.poi_ids for ci in a] == [ci.poi_ids for ci in b]
+
+    def test_different_seeds_differ(self, small_city, default_query):
+        a = random_package(small_city, default_query, seed=1)
+        b = random_package(small_city, default_query, seed=2)
+        assert [ci.poi_ids for ci in a] != [ci.poi_ids for ci in b]
+
+    def test_budget_rejection_sampling(self, small_city):
+        query = GroupQuery.of(rest=1, attr=1, budget=9.0)
+        tp = random_package(small_city, query, seed=3)
+        assert all(ci.total_cost() <= 9.0 for ci in tp)
+
+    def test_impossible_budget_raises(self, small_city):
+        query = GroupQuery.of(acco=1, trans=1, rest=1, attr=3, budget=0.01)
+        with pytest.raises(ValueError, match="within budget"):
+            random_package(small_city, query, seed=1)
+
+
+class TestInvalidRandomPackage:
+    def test_violates_query(self, small_city, default_query):
+        tp = invalid_random_package(small_city, default_query, seed=4)
+        assert not tp.is_valid(default_query)
+        # Every CI individually violates the category counts.
+        assert all(not ci.is_valid(default_query) for ci in tp)
+
+    def test_still_plausible_size(self, small_city, default_query):
+        tp = invalid_random_package(small_city, default_query, seed=5)
+        for ci in tp:
+            assert len(ci) == default_query.total_items()
+
+
+class TestNonPersonalized:
+    def test_valid_and_blind_to_profile(self, app, uniform_group,
+                                        non_uniform_group, default_query):
+        profile_a = uniform_group.profile()
+        profile_b = non_uniform_group.profile()
+        tp_a = non_personalized_package(app.kfc, profile_a, default_query)
+        tp_b = non_personalized_package(app.kfc, profile_b, default_query)
+        assert tp_a.is_valid(default_query)
+        # gamma = 0: the profile must not influence the result.
+        assert [ci.poi_ids for ci in tp_a] == [ci.poi_ids for ci in tp_b]
+
+    def test_builder_weights_untouched(self, app, uniform_group,
+                                       default_query):
+        before = app.kfc.weights.gamma
+        non_personalized_package(app.kfc, uniform_group.profile(),
+                                 default_query)
+        assert app.kfc.weights.gamma == before

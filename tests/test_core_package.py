@@ -1,0 +1,129 @@
+"""Tests for TravelPackage and the Equation 1 objective evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.composite import CompositeItem
+from repro.core.objective import (
+    ObjectiveWeights,
+    evaluate_objective,
+    fuzzy_memberships,
+    normalized_distances_to_centroids,
+)
+from repro.core.package import TravelPackage
+from repro.core.query import DEFAULT_QUERY
+
+
+@pytest.fixture()
+def package(app, uniform_group, default_query):
+    profile = uniform_group.profile()
+    return app.kfc.build(profile, default_query)
+
+
+class TestTravelPackage:
+    def test_requires_cis(self):
+        with pytest.raises(ValueError, match="at least one"):
+            TravelPackage([])
+
+    def test_len_iter_getitem(self, package):
+        assert package.k == len(package) == 5
+        assert package[0] is list(package)[0]
+
+    def test_centroids_shape(self, package):
+        assert package.centroids().shape == (5, 2)
+
+    def test_all_pois_counts_repeats(self, package, default_query):
+        assert len(package.all_pois()) == 5 * default_query.total_items()
+
+    def test_validity(self, package, default_query):
+        assert package.is_valid()
+        assert package.is_valid(default_query)
+
+    def test_is_valid_without_query_raises(self, package, poi_factory):
+        bare = TravelPackage([CompositeItem([poi_factory()])])
+        with pytest.raises(ValueError, match="no query"):
+            bare.is_valid()
+
+    def test_with_composite_item(self, package, poi_factory):
+        replacement = CompositeItem([poi_factory(poi_id=12_345)])
+        updated = package.with_composite_item(0, replacement)
+        assert updated[0] is replacement
+        assert package[0] is not replacement
+
+    def test_appending_and_removing(self, package, poi_factory):
+        extra = CompositeItem([poi_factory(poi_id=54_321)])
+        bigger = package.appending(extra)
+        assert bigger.k == package.k + 1
+        smaller = bigger.without_composite_item(bigger.k - 1)
+        assert smaller.k == package.k
+
+    def test_metric_wrappers_agree_with_functions(self, package, app,
+                                                  uniform_group):
+        from repro.metrics.dimensions import representativity
+
+        assert package.representativity() == pytest.approx(
+            representativity(package.centroids())
+        )
+        s = package.raw_cohesiveness_sum() + 1.0
+        assert package.cohesiveness(s) == pytest.approx(1.0)
+        profile = uniform_group.profile()
+        assert package.personalization(profile, app.item_index) > 0.0
+
+
+class TestObjective:
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            ObjectiveWeights(alpha=-0.1)
+
+    def test_fuzzy_memberships_partition(self):
+        rng = np.random.default_rng(0)
+        dists = rng.uniform(0.1, 1.0, size=(20, 4))
+        w = fuzzy_memberships(dists)
+        assert np.allclose(w.sum(axis=1), 1.0)
+
+    def test_fuzzy_memberships_zero_distance(self):
+        dists = np.array([[0.0, 1.0], [0.5, 0.5]])
+        w = fuzzy_memberships(dists)
+        assert w[0, 0] == pytest.approx(1.0)
+        assert w[1, 0] == pytest.approx(0.5)
+
+    def test_fuzzy_memberships_bad_fuzzifier(self):
+        with pytest.raises(ValueError):
+            fuzzy_memberships(np.ones((2, 2)), fuzzifier=1.0)
+
+    def test_normalized_distances_in_unit_range(self, app, package):
+        dist = normalized_distances_to_centroids(app.dataset,
+                                                 package.centroids())
+        assert dist.shape == (len(app.dataset), package.k)
+        assert dist.min() >= 0.0
+        assert dist.max() <= 1.0 + 1e-9
+
+    def test_objective_positive_and_finite(self, app, package, uniform_group):
+        profile = uniform_group.profile()
+        value = evaluate_objective(app.dataset, package, profile,
+                                   app.item_index)
+        assert np.isfinite(value)
+        assert value > 0.0
+
+    def test_kfc_beats_random_package(self, app, uniform_group,
+                                      default_query):
+        from repro.core.baselines import random_package
+
+        profile = uniform_group.profile()
+        kfc_tp = app.kfc.build(profile, default_query)
+        rand_tp = random_package(app.dataset, default_query, seed=5)
+        weights = ObjectiveWeights()
+        assert evaluate_objective(app.dataset, kfc_tp, profile,
+                                  app.item_index, weights) > \
+            evaluate_objective(app.dataset, rand_tp, profile,
+                               app.item_index, weights)
+
+    def test_gamma_scaling_monotone(self, app, package, uniform_group):
+        """More personalization weight can only raise the score of a
+        fixed package (all cosine terms are non-negative here)."""
+        profile = uniform_group.profile()
+        low = evaluate_objective(app.dataset, package, profile,
+                                 app.item_index, ObjectiveWeights(gamma=0.5))
+        high = evaluate_objective(app.dataset, package, profile,
+                                  app.item_index, ObjectiveWeights(gamma=2.0))
+        assert high >= low

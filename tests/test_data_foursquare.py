@@ -1,0 +1,90 @@
+"""Tests for the simulated Foursquare augmentation service."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.foursquare import FoursquareSimulator
+from repro.data.poi import Category
+from repro.data.taxonomy import (
+    GENERIC_TAGS,
+    TAXONOMY,
+    full_vocabulary,
+    tag_vocabulary,
+    types_for,
+)
+
+
+class TestTaxonomy:
+    def test_every_category_has_types(self):
+        for cat in Category:
+            assert len(types_for(cat)) >= 4
+
+    def test_every_type_has_tags(self):
+        for types in TAXONOMY.values():
+            for poi_type in types:
+                assert len(tag_vocabulary(poi_type)) >= 5
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            tag_vocabulary("space elevator")
+
+    def test_full_vocabulary_includes_generics(self):
+        vocab = full_vocabulary()
+        assert set(GENERIC_TAGS) <= set(vocab)
+
+    def test_category_vocabulary_smaller_than_full(self):
+        assert len(full_vocabulary(Category.RESTAURANT)) < len(full_vocabulary())
+
+
+class TestSimulator:
+    def test_deterministic(self):
+        a = FoursquareSimulator(seed=5)
+        b = FoursquareSimulator(seed=5)
+        assert [a.augment(Category.RESTAURANT) for _ in range(5)] == \
+            [b.augment(Category.RESTAURANT) for _ in range(5)]
+
+    def test_sample_type_in_taxonomy(self):
+        sim = FoursquareSimulator(seed=1)
+        for cat in Category:
+            for _ in range(10):
+                assert sim.sample_type(cat) in types_for(cat)
+
+    def test_type_popularity_skew(self):
+        """The first taxonomy type should dominate samples."""
+        sim = FoursquareSimulator(seed=2)
+        samples = [sim.sample_type(Category.ACCOMMODATION) for _ in range(400)]
+        assert samples.count("hotel") > samples.count("college residence hall")
+
+    def test_tags_unique_within_poi(self):
+        sim = FoursquareSimulator(seed=3)
+        for _ in range(30):
+            tags = sim.sample_tags("french")
+            assert len(set(tags)) == len(tags)
+
+    def test_tags_come_from_known_pools(self):
+        sim = FoursquareSimulator(seed=4)
+        own = set(tag_vocabulary("japanese"))
+        generic = set(GENERIC_TAGS)
+        for _ in range(20):
+            assert set(sim.sample_tags("japanese")) <= own | generic
+
+    def test_cost_is_log_of_checkins(self):
+        assert FoursquareSimulator.cost_from_checkins(100) == \
+            pytest.approx(math.log(100))
+        assert FoursquareSimulator.cost_from_checkins(0) == 0.0
+
+    def test_checkins_heavy_tailed(self):
+        sim = FoursquareSimulator(seed=6)
+        counts = np.array([sim.sample_checkins() for _ in range(800)])
+        assert counts.min() >= 3
+        assert counts.max() <= 10_000
+        # Log-uniform: median far below mean.
+        assert np.median(counts) < counts.mean()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FoursquareSimulator(tags_per_poi=(0, 3))
+        with pytest.raises(ValueError):
+            FoursquareSimulator(generic_tag_share=1.0)

@@ -1,0 +1,151 @@
+"""Fast-mode tests for the experiment runners (the table/figure code)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import distance_perf, figure1, figure3
+from repro.experiments import table2, table3
+from repro.experiments.context import ExperimentConfig, ExperimentContext
+from repro.experiments.reporting import format_table, pct, rating
+from repro.experiments.synthetic_sweep import (
+    CONSENSUS_METHODS,
+    MEDIAN,
+    run_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx():
+    config = ExperimentConfig(scale=0.25, n_groups=2, lda_iterations=20,
+                              sizes={"small": 4, "large": 8}, seed=5)
+    return ExperimentContext(config)
+
+
+@pytest.fixture(scope="module")
+def sweep(tiny_ctx):
+    return run_sweep(tiny_ctx)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_cells(self):
+        assert pct(97.4) == "97%"
+        assert rating(3.768) == "3.77"
+
+
+class TestContext:
+    def test_datasets_cached(self, tiny_ctx):
+        assert tiny_ctx.dataset("paris") is tiny_ctx.dataset("paris")
+
+    def test_apps_cached(self, tiny_ctx):
+        assert tiny_ctx.app("paris") is tiny_ctx.app("paris")
+
+    def test_fast_config_smaller(self):
+        fast = ExperimentConfig.fast()
+        assert fast.n_groups < ExperimentConfig().n_groups
+        assert fast.sizes["large"] < 100
+
+
+class TestSweep:
+    def test_record_volume(self, tiny_ctx, sweep):
+        cells = 2 * len(tiny_ctx.config.sizes) * tiny_ctx.config.n_groups
+        per_group = len(CONSENSUS_METHODS) + 1  # + median
+        assert len(sweep.records) == cells * per_group
+
+    def test_s_constant_is_max(self, sweep):
+        assert sweep.s_constant == max(r.raw_cohesiveness_sum
+                                       for r in sweep.records)
+
+    def test_normalized_in_unit_interval(self, sweep):
+        for record in sweep.records:
+            dims = sweep.normalized(record)
+            for value in dims.values():
+                assert -1e-9 <= value <= 1.0 + 1e-9
+
+    def test_select_filters(self, sweep):
+        subset = sweep.select(uniform=True, method=MEDIAN)
+        assert subset
+        assert all(r.uniform and r.method == MEDIAN for r in subset)
+
+    def test_cell_means_missing_cell_raises(self, sweep):
+        with pytest.raises(ValueError, match="no records"):
+            sweep.cell_means(True, "nonexistent", "average")
+
+
+class TestTable2:
+    def test_run_and_render(self, tiny_ctx, sweep):
+        result = table2.run(tiny_ctx, sweep=sweep)
+        text = result.render()
+        assert "Table 2" in text
+        assert "AVTP:R" in text
+        assert "ANOVA" in text
+        # Every cell present.
+        assert len(result.cells) == 2 * len(tiny_ctx.config.sizes) * 4
+
+    def test_anova_outputs_all_dimensions(self, tiny_ctx, sweep):
+        result = table2.run(tiny_ctx, sweep=sweep)
+        assert set(result.anova) == {"R", "C", "P"}
+
+    def test_pcc_values_bounded(self, tiny_ctx, sweep):
+        result = table2.run(tiny_ctx, sweep=sweep)
+        for value in result.uniform_size_pcc.values():
+            assert -1.0 <= value <= 1.0
+
+
+class TestTable3:
+    def test_run_and_render(self, tiny_ctx, sweep):
+        result = table3.run(tiny_ctx, sweep=sweep)
+        text = result.render()
+        assert "Table 3" in text
+        for cell in result.cells.values():
+            for value in cell.values():
+                assert 0.0 <= value <= 1.0
+
+
+class TestFigures:
+    def test_figure1_valid_budgeted_package(self, tiny_ctx):
+        result = figure1.run(tiny_ctx)
+        assert result.package.k == 5
+        assert result.package.is_valid(result.query)
+        text = result.render()
+        assert "DAY 1" in text and "DAY 5" in text
+        assert "[A]" in text and "[H]" in text
+
+    def test_figure3_all_operators(self, tiny_ctx):
+        result = figure3.run(tiny_ctx)
+        assert result.after.k == result.before.k + 1
+        text = result.render()
+        for op in ("REMOVE", "ADD", "REPLACE", "GENERATE"):
+            assert op in text
+
+
+class TestDistancePerf:
+    def test_report(self):
+        result = distance_perf.run(n_pairs=5_000, scalar_pairs=2_000)
+        assert result.max_relative_error < 0.001
+        assert result.vector_haversine_s > 0
+        assert "0.1%" in result.render()
+
+
+class TestCLI:
+    def test_parser_and_context(self):
+        from repro.experiments.cli import build_parser, make_context
+        args = build_parser().parse_args(
+            ["table2", "--fast", "--groups", "3", "--seed", "1"]
+        )
+        ctx = make_context(args)
+        assert ctx.config.n_groups == 3
+        assert ctx.config.seed == 1
+        assert ctx.config.scale == ExperimentConfig.fast().scale
+
+    def test_cli_runs_distance(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["distance", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "distance" in out

@@ -1,0 +1,95 @@
+"""Tests for the user-study and customization-study experiment modules
+(small-scale, exercising the full protocol plumbing)."""
+
+import math
+
+import pytest
+
+from repro.experiments import table4, table5, table6, table7
+from repro.experiments.context import ExperimentConfig, ExperimentContext
+from repro.experiments.customization_study import (
+    NON_UNIFORM_SIZE,
+    STRATEGY_PAIRS,
+    UNIFORM_SIZE,
+    run_customization_study,
+)
+from repro.experiments.user_study import (
+    COMPARISON_PAIRS,
+    PACKAGE_LABELS,
+    run_user_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study_ctx():
+    config = ExperimentConfig(scale=0.3, n_groups=2, lda_iterations=20,
+                              sizes={"small": 5, "large": 12}, seed=77)
+    return ExperimentContext(config)
+
+
+@pytest.fixture(scope="module")
+def study(study_ctx):
+    return run_user_study(study_ctx)
+
+
+@pytest.fixture(scope="module")
+def customization(study_ctx):
+    return run_customization_study(study_ctx)
+
+
+class TestUserStudy:
+    def test_every_cell_present(self, study, study_ctx):
+        expected = {(u, s) for u in (True, False)
+                    for s in study_ctx.config.sizes}
+        assert set(study.cells) == expected
+
+    def test_ratings_in_scale(self, study):
+        for cell in study.cells.values():
+            assert set(cell.mean_ratings) == set(PACKAGE_LABELS)
+            for value in cell.mean_ratings.values():
+                assert 1.0 <= value <= 5.0
+
+    def test_supremacy_percentages(self, study):
+        for cell in study.cells.values():
+            assert set(cell.supremacy) == set(COMPARISON_PAIRS)
+            for value in cell.supremacy.values():
+                assert math.isnan(value) or 0.0 <= value <= 100.0
+
+    def test_attentive_counts_positive(self, study):
+        assert all(cell.n_attentive > 0 for cell in study.cells.values())
+
+    def test_recruitment_bookkeeping(self, study):
+        assert study.n_retained <= study.n_recruited
+        assert study.total_paid > 0
+
+    def test_table4_render(self, study_ctx, study):
+        text = table4.run(study_ctx, study=study).render()
+        assert "Table 4" in text
+        assert "recruited" in text
+
+    def test_table5_render(self, study_ctx, study):
+        text = table5.run(study_ctx, study=study).render()
+        assert "Table 5" in text
+        assert "AVTP vs NPTP" in text
+
+
+class TestCustomizationStudy:
+    def test_group_sizes_match_paper(self, customization):
+        assert customization.cells[True].group_size == UNIFORM_SIZE == 11
+        assert customization.cells[False].group_size == NON_UNIFORM_SIZE == 7
+
+    def test_interactions_happened(self, customization):
+        for cell in customization.cells.values():
+            assert cell.n_interactions >= cell.group_size
+
+    def test_ratings_and_supremacy_well_formed(self, customization):
+        for cell in customization.cells.values():
+            for value in cell.mean_ratings.values():
+                assert 1.0 <= value <= 5.0
+            assert set(cell.supremacy) == set(STRATEGY_PAIRS)
+
+    def test_renders(self, study_ctx, customization):
+        t6 = table6.run(study_ctx, study=customization).render()
+        t7 = table7.run(study_ctx, study=customization).render()
+        assert "Table 6" in t6 and "uniform (11 members)" in t6
+        assert "Table 7" in t7 and "batch vs individual" in t7

@@ -1,0 +1,109 @@
+"""Tests for the uniform spatial grid index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.distance import equirectangular_km
+from repro.geo.grid import SpatialGrid
+from repro.geo.rectangle import Rectangle
+
+
+def _brute_force_nearest(points, lat, lon, k):
+    scored = sorted(
+        (float(equirectangular_km(lat, lon, plat, plon)), key)
+        for key, plat, plon in points
+    )
+    return [key for _, key in scored[:k]]
+
+
+class TestBasics:
+    def test_insert_and_len(self):
+        grid = SpatialGrid()
+        grid.insert(1, 48.85, 2.35)
+        grid.insert(2, 48.86, 2.36)
+        assert len(grid) == 2
+        assert 1 in grid and 3 not in grid
+
+    def test_location_roundtrip(self):
+        grid = SpatialGrid()
+        grid.insert(5, 48.85, 2.35)
+        assert grid.location(5) == (48.85, 2.35)
+
+    def test_reinsert_moves_point(self):
+        grid = SpatialGrid()
+        grid.insert(1, 48.85, 2.35)
+        grid.insert(1, 48.95, 2.45)
+        assert len(grid) == 1
+        assert grid.location(1) == (48.95, 2.45)
+
+    def test_remove(self):
+        grid = SpatialGrid()
+        grid.insert(1, 48.85, 2.35)
+        grid.remove(1)
+        assert len(grid) == 0
+        with pytest.raises(KeyError):
+            grid.remove(1)
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            SpatialGrid(cell_km=0)
+
+
+class TestNearest:
+    def test_empty_grid(self):
+        assert SpatialGrid().nearest(48.85, 2.35, k=3) == []
+
+    def test_k_zero(self):
+        grid = SpatialGrid()
+        grid.insert(1, 48.85, 2.35)
+        assert grid.nearest(48.85, 2.35, k=0) == []
+
+    def test_single_point(self):
+        grid = SpatialGrid()
+        grid.insert(7, 48.85, 2.35)
+        assert grid.nearest(48.9, 2.4, k=1) == [7]
+
+    def test_predicate_filter(self):
+        grid = SpatialGrid()
+        grid.insert(1, 48.85, 2.35)
+        grid.insert(2, 48.8501, 2.3501)
+        assert grid.nearest(48.85, 2.35, k=1, predicate=lambda key: key == 2) == [2]
+
+    def test_max_radius(self):
+        grid = SpatialGrid()
+        grid.insert(1, 48.85, 2.35)
+        grid.insert(2, 48.95, 2.35)  # ~11 km away
+        found = grid.nearest(48.85, 2.35, k=5, max_radius_km=5.0)
+        assert found == [1]
+
+    @given(seed=st.integers(0, 200), k=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, seed, k):
+        rng = np.random.default_rng(seed)
+        points = [
+            (i, float(rng.uniform(48.80, 48.92)), float(rng.uniform(2.25, 2.45)))
+            for i in range(40)
+        ]
+        grid = SpatialGrid.from_points(points)
+        lat = float(rng.uniform(48.80, 48.92))
+        lon = float(rng.uniform(2.25, 2.45))
+        expected = _brute_force_nearest(points, lat, lon, k)
+        assert grid.nearest(lat, lon, k=k) == expected
+
+
+class TestRectangleQuery:
+    def test_within_rectangle(self):
+        grid = SpatialGrid()
+        grid.insert(1, 48.85, 2.35)
+        grid.insert(2, 48.99, 2.99)
+        rect = Rectangle(lat=48.90, lon=2.30, width=0.2, height=0.2)
+        assert grid.within_rectangle(rect) == [1]
+
+    def test_within_rectangle_predicate(self):
+        grid = SpatialGrid()
+        grid.insert(1, 48.85, 2.35)
+        grid.insert(2, 48.86, 2.36)
+        rect = Rectangle(lat=48.90, lon=2.30, width=0.2, height=0.2)
+        assert grid.within_rectangle(rect, predicate=lambda key: key > 1) == [2]

@@ -1,0 +1,41 @@
+"""Tests for map rectangles."""
+
+import pytest
+
+from repro.geo.rectangle import Rectangle
+
+
+class TestRectangle:
+    def test_corners(self):
+        rect = Rectangle(lat=48.90, lon=2.30, width=0.10, height=0.05)
+        assert rect.north == 48.90
+        assert rect.south == pytest.approx(48.85)
+        assert rect.west == 2.30
+        assert rect.east == pytest.approx(2.40)
+
+    def test_center(self):
+        rect = Rectangle(lat=48.90, lon=2.30, width=0.10, height=0.05)
+        lat, lon = rect.center
+        assert lat == pytest.approx(48.875)
+        assert lon == pytest.approx(2.35)
+
+    def test_contains_interior_and_boundary(self):
+        rect = Rectangle(lat=48.90, lon=2.30, width=0.10, height=0.05)
+        assert rect.contains(48.875, 2.35)
+        assert rect.contains(48.90, 2.30)  # corner inclusive
+        assert not rect.contains(48.91, 2.35)
+        assert not rect.contains(48.875, 2.41)
+
+    def test_around_centers_on_point(self):
+        rect = Rectangle.around(48.875, 2.35, width=0.10, height=0.05)
+        assert rect.center == (pytest.approx(48.875), pytest.approx(2.35))
+        assert rect.contains(48.875, 2.35)
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Rectangle(lat=48.9, lon=2.3, width=-0.1, height=0.1)
+
+    def test_degenerate_rectangle_contains_anchor_only(self):
+        rect = Rectangle(lat=48.9, lon=2.3, width=0.0, height=0.0)
+        assert rect.contains(48.9, 2.3)
+        assert not rect.contains(48.9001, 2.3)

@@ -1,0 +1,101 @@
+"""End-to-end integration tests: the full Figure 2 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import GroupQuery, GroupTravel, ObjectiveWeights
+from repro.core.baselines import non_personalized_package
+from repro.data.synthetic import generate_city
+from repro.geo.rectangle import Rectangle
+from repro.profiles.consensus import ConsensusMethod
+from repro.profiles.vectors import ItemVectorIndex
+from repro.study.customization_sim import simulate_group_interactions
+
+
+class TestFullPipeline:
+    """Profiles -> consensus -> KFC -> customization -> refinement."""
+
+    def test_figure2_flow(self, app, uniform_group, default_query):
+        # 1. Consensus profile.
+        profile = app.group_profile(uniform_group,
+                                    ConsensusMethod.PAIRWISE_DISAGREEMENT)
+        # 2. Personalized package.
+        package = app.build_for_profile(profile, default_query)
+        assert package.is_valid(default_query)
+
+        # 3. Customize: one of each operator.
+        session = app.customize(package, profile)
+        session.remove(0, package[0].pois[0].id, actor=0)
+        addition = session.suggest_additions(1, k=1)[0]
+        session.add(1, addition, actor=1)
+        session.replace(2, package[2].pois[1].id, actor=2)
+        center = app.dataset.coordinates().mean(axis=0)
+        session.generate(Rectangle.around(float(center[0]), float(center[1]),
+                                          0.05, 0.05), actor=3)
+
+        # 4. Refine both ways and rebuild.
+        batch_profile = app.refine_profile_batch(profile, session)
+        _, individual_profile = app.refine_profile_individual(
+            uniform_group, session, ConsensusMethod.PAIRWISE_DISAGREEMENT
+        )
+        for refined in (batch_profile, individual_profile):
+            rebuilt = app.build_for_profile(refined, default_query)
+            assert rebuilt.is_valid(default_query)
+
+    def test_all_consensus_methods_build(self, app, non_uniform_group,
+                                         default_query):
+        for method in ConsensusMethod:
+            package = app.build_package(non_uniform_group, default_query,
+                                        method)
+            assert package.is_valid(default_query)
+
+    def test_every_city_supports_default_query(self):
+        from repro.data.cities import city_names
+
+        for city in city_names():
+            dataset = generate_city(city, seed=1, scale=0.15)
+            app = GroupTravel(dataset, seed=1, lda_iterations=10)
+            group = __import__(
+                "repro.profiles.generator", fromlist=["GroupGenerator"]
+            ).GroupGenerator(app.schema, seed=2).uniform_group(4)
+            package = app.build_package(group, GroupQuery.of(
+                acco=1, trans=1, rest=1, attr=2
+            ))
+            assert package.is_valid()
+
+    def test_cross_city_profile_transfer(self, app, uniform_group,
+                                         default_query):
+        """Refine in Paris, rebuild in Barcelona (Section 4.4.4)."""
+        barcelona = generate_city("barcelona", seed=4, scale=0.2)
+        transferred = ItemVectorIndex.transfer(barcelona, app.item_index)
+        from repro.core.kfc import KFCBuilder
+
+        bcn = KFCBuilder(barcelona, transferred, weights=app.weights, k=5)
+        profile = uniform_group.profile()
+        package = bcn.build(profile, default_query)
+        assert package.is_valid(default_query)
+        # Same schema: personalization metric is computable directly.
+        assert package.personalization(profile, transferred) > 0.0
+
+    def test_interaction_simulation_produces_signal(self, app, uniform_group,
+                                                    default_query):
+        profile = uniform_group.profile()
+        package = app.build_for_profile(profile, default_query)
+        session = app.customize(package, profile)
+        simulate_group_interactions(session, uniform_group, seed=5)
+        assert len(session.interactions) >= len(uniform_group)
+        assert session.added_pois()
+        assert session.removed_pois()
+        refined = app.refine_profile_batch(profile, session)
+        assert not np.allclose(refined.concatenated(),
+                               profile.concatenated())
+
+    def test_objective_value_facade(self, app, uniform_group, default_query):
+        profile = uniform_group.profile()
+        package = app.build_for_profile(profile, default_query)
+        assert app.objective_value(package, profile) > 0.0
+
+    def test_weights_flow_through_facade(self, small_city):
+        app = GroupTravel(small_city, weights=ObjectiveWeights(gamma=2.0),
+                          seed=3, lda_iterations=10)
+        assert app.kfc.weights.gamma == 2.0

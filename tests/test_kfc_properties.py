@@ -1,0 +1,77 @@
+"""Property-based tests on the core KFC invariants.
+
+Whatever the query, seed or consensus method, a built package must be
+valid, its CIs anchored inside the city, and the budget respected --
+the contract downstream users rely on.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.assembly import InfeasibleQueryError
+from repro.core.query import GroupQuery
+from repro.profiles.consensus import ConsensusMethod
+
+# Draw raw counts first and only construct the (validating) GroupQuery
+# once at least one POI is requested.
+queries = st.tuples(
+    st.integers(0, 2), st.integers(0, 2), st.integers(0, 3),
+    st.integers(0, 4),
+    st.one_of(st.just(math.inf), st.floats(18.0, 60.0)),
+).filter(lambda t: t[0] + t[1] + t[2] + t[3] > 0).map(
+    lambda t: GroupQuery.of(acco=t[0], trans=t[1], rest=t[2], attr=t[3],
+                            budget=t[4])
+)
+
+
+class TestKFCInvariants:
+    @given(query=queries,
+           method=st.sampled_from(list(ConsensusMethod)),
+           k=st.integers(1, 6))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_built_packages_always_valid(self, app, uniform_group,
+                                         query, method, k):
+        profile = uniform_group.profile(method)
+        try:
+            package = app.kfc.build(profile, query, k=k)
+        except InfeasibleQueryError:
+            # Legitimate for tight budgets; nothing more to check.
+            return
+        assert package.k == k
+        assert package.is_valid(query)
+        for ci in package:
+            assert len(ci) == query.total_items()
+            assert ci.total_cost() <= query.budget
+            # No duplicate POIs inside one CI (a CI is a set).
+            assert len(ci.poi_ids) == len(ci.pois)
+
+    @given(query=queries)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_centroids_anchor_inside_city(self, app, uniform_group, query):
+        profile = uniform_group.profile()
+        try:
+            package = app.kfc.build(profile, query)
+        except InfeasibleQueryError:
+            return
+        coords = app.dataset.coordinates()
+        lat_lo, lon_lo = coords.min(axis=0)
+        lat_hi, lon_hi = coords.max(axis=0)
+        margin = 0.02
+        for ci in package:
+            assert lat_lo - margin <= ci.centroid[0] <= lat_hi + margin
+            assert lon_lo - margin <= ci.centroid[1] <= lon_hi + margin
+
+    @given(seed=st.integers(0, 5))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_same_seed_same_package(self, app, uniform_group,
+                                    default_query, seed):
+        profile = uniform_group.profile()
+        a = app.kfc.build(profile, default_query, seed=seed)
+        b = app.kfc.build(profile, default_query, seed=seed)
+        assert [ci.poi_ids for ci in a] == [ci.poi_ids for ci in b]

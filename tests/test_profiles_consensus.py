@@ -1,0 +1,132 @@
+"""Tests for the four consensus functions, including the paper's worked
+example and hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.profiles.consensus import (
+    ConsensusMethod,
+    average_pairwise_disagreement,
+    average_preference,
+    consensus_scores,
+    disagreement_variance,
+    least_misery_preference,
+)
+
+#: The paper's Section 2.3 example: family of four rating museums
+#: 0.8, 1.0, 0.6 and 0.2.
+FAMILY = np.array([[0.8], [1.0], [0.6], [0.2]])
+
+member_matrices = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 12), st.integers(1, 6)),
+    elements=st.floats(0.0, 1.0),
+)
+
+
+class TestPaperExample:
+    def test_average_preference(self):
+        assert average_preference(FAMILY)[0] == pytest.approx(0.65)
+
+    def test_least_misery(self):
+        assert least_misery_preference(FAMILY)[0] == pytest.approx(0.2)
+
+    def test_pairwise_disagreement(self):
+        # Pairwise |diffs|: .2 .2 .6 .4 .8 .4 -> mean = 2.6/6 = 0.4333
+        assert average_pairwise_disagreement(FAMILY)[0] == pytest.approx(0.4333, abs=1e-3)
+
+    def test_disagreement_variance(self):
+        assert disagreement_variance(FAMILY)[0] == pytest.approx(0.0875, abs=1e-4)
+
+    def test_combined_consensus(self):
+        # g = 0.5 * 0.65 + 0.5 * (1 - 0.4333) = 0.6083
+        g = consensus_scores(FAMILY, ConsensusMethod.PAIRWISE_DISAGREEMENT)
+        assert g[0] == pytest.approx(0.6083, abs=1e-3)
+
+
+class TestEdgeCases:
+    def test_singleton_group(self):
+        member = np.array([[0.3, 0.7]])
+        assert np.allclose(average_pairwise_disagreement(member), 0.0)
+        assert np.allclose(disagreement_variance(member), 0.0)
+        assert np.allclose(average_preference(member), member[0])
+        assert np.allclose(least_misery_preference(member), member[0])
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="n_members"):
+            average_preference(np.zeros(5))
+
+    def test_rejects_bad_w1(self):
+        with pytest.raises(ValueError, match="w1"):
+            consensus_scores(FAMILY, ConsensusMethod.AVERAGE, w1=1.5)
+
+    def test_pure_preference_methods_ignore_disagreement(self):
+        g_avg = consensus_scores(FAMILY, ConsensusMethod.AVERAGE)
+        assert g_avg[0] == pytest.approx(0.65)
+        g_lm = consensus_scores(FAMILY, ConsensusMethod.LEAST_MISERY)
+        assert g_lm[0] == pytest.approx(0.2)
+
+    def test_w1_override(self):
+        g = consensus_scores(FAMILY, ConsensusMethod.PAIRWISE_DISAGREEMENT,
+                             w1=1.0)
+        assert g[0] == pytest.approx(0.65)  # pure average
+
+    def test_method_metadata(self):
+        assert ConsensusMethod.AVERAGE.w1 == 1.0
+        assert ConsensusMethod.PAIRWISE_DISAGREEMENT.w1 == 0.5
+        assert not ConsensusMethod.LEAST_MISERY.uses_disagreement
+        assert ConsensusMethod.DISAGREEMENT_VARIANCE.uses_disagreement
+        assert ConsensusMethod.AVERAGE.tp_label == "AVTP"
+
+    def test_accepts_string_method(self):
+        g = consensus_scores(FAMILY, "least_misery")
+        assert g[0] == pytest.approx(0.2)
+
+
+class TestProperties:
+    @given(members=member_matrices)
+    @settings(max_examples=120, deadline=None)
+    def test_all_methods_stay_in_unit_interval(self, members):
+        for method in ConsensusMethod:
+            g = consensus_scores(members, method)
+            assert (g >= -1e-12).all()
+            assert (g <= 1.0 + 1e-12).all()
+
+    @given(members=member_matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_least_misery_below_average(self, members):
+        assert (least_misery_preference(members)
+                <= average_preference(members) + 1e-12).all()
+
+    @given(members=member_matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_disagreements_non_negative(self, members):
+        assert (average_pairwise_disagreement(members) >= 0).all()
+        assert (disagreement_variance(members) >= 0).all()
+
+    @given(members=member_matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_unanimous_groups_have_zero_disagreement(self, members):
+        clone = np.repeat(members[:1], 4, axis=0)
+        assert np.allclose(average_pairwise_disagreement(clone), 0.0)
+        assert np.allclose(disagreement_variance(clone), 0.0, atol=1e-12)
+
+    @given(members=member_matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_permutation_invariance(self, members):
+        rng = np.random.default_rng(0)
+        shuffled = members[rng.permutation(len(members))]
+        for method in ConsensusMethod:
+            assert np.allclose(consensus_scores(members, method),
+                               consensus_scores(shuffled, method))
+
+    @given(members=member_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_variance_bounded_by_pairwise(self, members):
+        """Population variance <= half the mean absolute pairwise gap is
+        not generally true, but variance <= pairwise * range is; assert
+        the weaker, always-true bound var <= 1/4 for [0,1] data."""
+        assert (disagreement_variance(members) <= 0.25 + 1e-12).all()

@@ -1,0 +1,119 @@
+"""Tests for groups, group profiles, generators, and median users."""
+
+import numpy as np
+import pytest
+
+from repro.data.poi import CATEGORIES
+from repro.metrics.uniformity import group_uniformity
+from repro.profiles.consensus import ConsensusMethod
+from repro.profiles.generator import (
+    GROUP_SIZES,
+    NON_UNIFORM_THRESHOLD,
+    UNIFORM_THRESHOLD,
+    GroupGenerator,
+    median_user_index,
+)
+from repro.profiles.group import Group, GroupProfile
+
+
+class TestGroup:
+    def test_requires_members(self):
+        with pytest.raises(ValueError, match="at least one member"):
+            Group([])
+
+    def test_member_matrix_shape(self, uniform_group, schema):
+        mat = uniform_group.member_matrix("rest")
+        assert mat.shape == (5, schema.size("rest"))
+
+    def test_profile_average_is_member_mean(self, uniform_group):
+        profile = uniform_group.profile(ConsensusMethod.AVERAGE)
+        for cat in CATEGORIES:
+            expected = uniform_group.member_matrix(cat).mean(axis=0)
+            assert np.allclose(profile.vector(cat), expected)
+
+    def test_singleton_profile_is_member(self, uniform_group):
+        single = uniform_group.singleton(2)
+        profile = single.profile(ConsensusMethod.AVERAGE)
+        member = uniform_group.members[2]
+        for cat in CATEGORIES:
+            assert np.allclose(profile.vector(cat), member.vector(cat))
+
+    def test_with_member_replaces_one(self, uniform_group, generator):
+        replacement = generator.random_user()
+        new_group = uniform_group.with_member(0, replacement)
+        assert new_group.members[0] is replacement
+        assert new_group.members[1] is uniform_group.members[1]
+        assert uniform_group.members[0] is not replacement
+
+    def test_profile_updated_returns_new(self, uniform_group, schema):
+        profile = uniform_group.profile()
+        new = profile.updated("rest", np.zeros(schema.size("rest")))
+        assert np.allclose(new.vector("rest"), 0.0)
+        assert profile.vector("rest").sum() > 0
+
+    def test_group_profile_shape_validation(self, schema):
+        with pytest.raises(ValueError, match="missing category"):
+            GroupProfile(schema, {})
+
+
+class TestGenerator:
+    def test_paper_group_sizes(self):
+        assert GROUP_SIZES == {"small": 5, "medium": 10, "large": 100}
+
+    def test_uniform_group_meets_threshold(self, generator):
+        for size in (5, 10):
+            group = generator.uniform_group(size)
+            assert len(group) == size
+            assert group_uniformity(group) > UNIFORM_THRESHOLD
+
+    def test_non_uniform_group_meets_threshold(self, generator):
+        for size in (5, 10):
+            group = generator.non_uniform_group(size)
+            assert len(group) == size
+            assert group_uniformity(group) < NON_UNIFORM_THRESHOLD
+
+    def test_large_non_uniform_group(self, schema):
+        group = GroupGenerator(schema, seed=33).non_uniform_group(60)
+        assert group_uniformity(group) < NON_UNIFORM_THRESHOLD
+
+    def test_group_dispatch(self, generator):
+        assert group_uniformity(generator.group(5, uniform=True)) > 0.85
+        assert group_uniformity(generator.group(5, uniform=False)) < 0.20
+
+    def test_deterministic(self, schema):
+        a = GroupGenerator(schema, seed=9).uniform_group(5)
+        b = GroupGenerator(schema, seed=9).uniform_group(5)
+        assert np.allclose(a.members[0].concatenated(),
+                           b.members[0].concatenated())
+
+    def test_sparse_user_structure(self, generator, schema):
+        user = generator.sparse_user(dims_per_category=2)
+        for cat in CATEGORIES:
+            vec = user.vector(cat)
+            assert np.count_nonzero(vec) <= 2
+            assert vec.sum() == pytest.approx(1.0)
+
+    def test_elicitation_keeps_zero_dims_zero(self, generator):
+        true_ratings = generator.sparse_ratings(dims_per_category=1)
+        stated = generator.elicitation_ratings(true_ratings, noise=1.0)
+        for cat in CATEGORIES:
+            zero_mask = np.asarray(true_ratings[cat]) == 0.0
+            assert np.allclose(np.asarray(stated[cat])[zero_mask], 0.0)
+
+
+class TestMedianUser:
+    def test_singleton(self, uniform_group):
+        assert median_user_index(uniform_group.singleton(0)) == 0
+
+    def test_median_is_most_central(self, non_uniform_group):
+        from repro.metrics.similarity import cosine
+
+        idx = median_user_index(non_uniform_group)
+        vectors = [m.concatenated() for m in non_uniform_group.members]
+
+        def centrality(i):
+            return sum(cosine(vectors[i], vectors[j])
+                       for j in range(len(vectors)) if j != i)
+
+        best = max(range(len(vectors)), key=centrality)
+        assert centrality(idx) == pytest.approx(centrality(best))

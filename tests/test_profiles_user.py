@@ -1,0 +1,100 @@
+"""Tests for user profiles and the profile schema."""
+
+import numpy as np
+import pytest
+
+from repro.data.poi import CATEGORIES, Category
+from repro.profiles.schema import ProfileSchema
+from repro.profiles.user import UserProfile
+
+
+@pytest.fixture()
+def simple_schema():
+    return ProfileSchema.with_topic_counts(4, 4)
+
+
+def _ratings(schema, value=2.5):
+    return {cat: np.full(schema.size(cat), value) for cat in CATEGORIES}
+
+
+class TestSchema:
+    def test_default_schema_dimensions(self):
+        schema = ProfileSchema.default()
+        assert schema.size("acco") == 6
+        assert schema.size("trans") == 7
+        assert schema.size("rest") == 8
+        assert schema.size("attr") == 8
+        assert schema.total_size() == 29
+
+    def test_missing_category_rejected(self):
+        with pytest.raises(ValueError, match="missing categories"):
+            ProfileSchema(dimensions={Category.ACCOMMODATION: ("hotel",)})
+
+    def test_empty_dimension_rejected(self):
+        dims = {cat: ("x",) for cat in CATEGORIES}
+        dims[Category.RESTAURANT] = ()
+        with pytest.raises(ValueError, match="no dimensions"):
+            ProfileSchema(dimensions=dims)
+
+    def test_labels(self, simple_schema):
+        assert simple_schema.labels("rest") == tuple(
+            f"rest-topic-{i}" for i in range(4)
+        )
+
+
+class TestUserProfile:
+    def test_from_ratings_normalizes_per_category(self, simple_schema):
+        profile = UserProfile.from_ratings(simple_schema, _ratings(simple_schema))
+        for cat in CATEGORIES:
+            vec = profile.vector(cat)
+            assert vec.sum() == pytest.approx(1.0)
+            assert np.allclose(vec, vec[0])  # uniform ratings -> uniform scores
+
+    def test_paper_normalization_formula(self, simple_schema):
+        ratings = _ratings(simple_schema)
+        ratings[Category.ACCOMMODATION] = np.array([5.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        profile = UserProfile.from_ratings(simple_schema, ratings)
+        assert profile.vector("acco")[0] == pytest.approx(1.0)
+
+    def test_zero_ratings_stay_zero(self, simple_schema):
+        ratings = _ratings(simple_schema)
+        ratings[Category.RESTAURANT] = np.zeros(4)
+        profile = UserProfile.from_ratings(simple_schema, ratings)
+        assert np.allclose(profile.vector("rest"), 0.0)
+
+    def test_rejects_out_of_range_ratings(self, simple_schema):
+        ratings = _ratings(simple_schema)
+        ratings[Category.RESTAURANT] = np.array([6.0, 0, 0, 0])
+        with pytest.raises(ValueError, match=r"\[0, 5\]"):
+            UserProfile.from_ratings(simple_schema, ratings)
+
+    def test_rejects_wrong_shape(self, simple_schema):
+        vectors = {cat: np.zeros(simple_schema.size(cat)) for cat in CATEGORIES}
+        vectors[Category.ATTRACTION] = np.zeros(2)
+        with pytest.raises(ValueError, match="shape"):
+            UserProfile(simple_schema, vectors)
+
+    def test_rejects_scores_above_one(self, simple_schema):
+        vectors = {cat: np.zeros(simple_schema.size(cat)) for cat in CATEGORIES}
+        vectors[Category.ATTRACTION] = np.full(4, 1.5)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            UserProfile(simple_schema, vectors)
+
+    def test_vector_returns_copy(self, simple_schema):
+        profile = UserProfile.from_ratings(simple_schema, _ratings(simple_schema))
+        vec = profile.vector("acco")
+        vec[:] = 0.0
+        assert profile.vector("acco").sum() == pytest.approx(1.0)
+
+    def test_concatenated_order(self, simple_schema):
+        profile = UserProfile.from_ratings(simple_schema, _ratings(simple_schema))
+        concat = profile.concatenated()
+        assert concat.shape == (simple_schema.total_size(),)
+        assert np.allclose(concat[:simple_schema.size("acco")],
+                           profile.vector("acco"))
+
+    def test_replace_returns_new_profile(self, simple_schema):
+        profile = UserProfile.from_ratings(simple_schema, _ratings(simple_schema))
+        new = profile.replace("rest", np.zeros(4))
+        assert np.allclose(new.vector("rest"), 0.0)
+        assert profile.vector("rest").sum() > 0.0

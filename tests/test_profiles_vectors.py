@@ -1,0 +1,111 @@
+"""Tests for item vectors and the cross-city transfer."""
+
+import numpy as np
+import pytest
+
+from repro.data.poi import Category
+from repro.data.synthetic import generate_city
+from repro.data.taxonomy import types_for
+from repro.profiles.vectors import ItemVectorIndex
+
+
+class TestFit:
+    def test_every_poi_has_a_vector(self, app, small_city):
+        index = app.item_index
+        assert len(index) == len(small_city)
+        for poi in small_city:
+            assert poi.id in index
+
+    def test_acco_trans_vectors_one_hot(self, app, small_city):
+        index = app.item_index
+        for cat in (Category.ACCOMMODATION, Category.TRANSPORTATION):
+            type_list = types_for(cat)
+            for poi in small_city.by_category(cat):
+                vec = index.vector(poi)
+                assert vec.sum() == pytest.approx(1.0)
+                assert np.count_nonzero(vec) == 1
+                assert vec[type_list.index(poi.type)] == 1.0
+
+    def test_topic_vectors_are_distributions(self, app, small_city):
+        index = app.item_index
+        for cat in (Category.RESTAURANT, Category.ATTRACTION):
+            for poi in small_city.by_category(cat)[:20]:
+                vec = index.vector(poi)
+                assert vec.sum() == pytest.approx(1.0)
+                assert (vec >= 0).all()
+
+    def test_schema_labels_match_vector_sizes(self, app):
+        index = app.item_index
+        schema = index.schema
+        assert schema.size("acco") == len(types_for(Category.ACCOMMODATION))
+        assert schema.size("rest") == 8
+
+    def test_vector_returns_copy(self, app, small_city):
+        index = app.item_index
+        poi = small_city.by_category("rest")[0]
+        vec = index.vector(poi)
+        vec[:] = 0.0
+        assert index.vector(poi).sum() > 0
+
+    def test_unknown_poi_raises(self, app):
+        with pytest.raises(KeyError, match="no item vector"):
+            app.item_index.vector(10**9)
+
+    def test_matrix_requires_single_category(self, app, small_city):
+        index = app.item_index
+        mixed = [small_city.by_category("rest")[0],
+                 small_city.by_category("attr")[0]]
+        with pytest.raises(ValueError, match="single category"):
+            index.matrix(mixed)
+
+    def test_matrix_stacks_vectors(self, app, small_city):
+        index = app.item_index
+        pois = list(small_city.by_category("rest")[:4])
+        mat = index.matrix(pois)
+        assert mat.shape == (4, index.schema.size("rest"))
+
+    def test_topic_model_accessors(self, app):
+        index = app.item_index
+        assert index.topic_model("rest").n_topics == 8
+        with pytest.raises(KeyError):
+            index.topic_model("acco")
+
+
+class TestTransfer:
+    @pytest.fixture(scope="class")
+    def barcelona(self):
+        return generate_city("barcelona", seed=3, scale=0.25)
+
+    @pytest.fixture(scope="class")
+    def transferred(self, barcelona, app):
+        return ItemVectorIndex.transfer(barcelona, app.item_index, seed=0)
+
+    def test_shares_source_schema(self, transferred, app):
+        assert transferred.schema == app.schema
+
+    def test_covers_target_city(self, transferred, barcelona):
+        for poi in barcelona:
+            vec = transferred.vector(poi)
+            assert vec.sum() == pytest.approx(1.0)
+
+    def test_one_hot_categories_transfer_exactly(self, transferred, barcelona):
+        for poi in barcelona.by_category("trans")[:10]:
+            vec = transferred.vector(poi)
+            assert np.count_nonzero(vec) == 1
+
+    def test_topic_transfer_is_meaningful(self, transferred, barcelona, app):
+        """Same-type POIs in the two cities should look more alike than
+        different-type ones (topics transferred, not garbage)."""
+        from repro.metrics.similarity import cosine
+
+        by_type: dict[str, list] = {}
+        for poi in barcelona.by_category("rest"):
+            by_type.setdefault(poi.type, []).append(poi)
+        types = [t for t, ps in by_type.items() if len(ps) >= 2]
+        if len(types) < 2:
+            pytest.skip("tiny city lacks type variety")
+        same = cosine(transferred.vector(by_type[types[0]][0]),
+                      transferred.vector(by_type[types[0]][1]))
+        cross = cosine(transferred.vector(by_type[types[0]][0]),
+                       transferred.vector(by_type[types[1]][0]))
+        assert same >= cross - 0.25

@@ -1,0 +1,199 @@
+"""Tests for the simulated crowd-study substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import invalid_random_package, random_package
+from repro.profiles.group import Group
+from repro.study.group_formation import (
+    GroupFormationError,
+    form_group,
+    form_study_groups,
+)
+from repro.study.protocols import comparative_evaluation, independent_evaluation
+from repro.study.satisfaction import (
+    package_affinity,
+    prefers,
+    rate_package,
+    session_ratings,
+)
+from repro.study.workers import (
+    EVALUATION_PAYMENT,
+    PROFILE_PAYMENT,
+    Platform,
+    Worker,
+    WorkerPool,
+)
+
+RECRUITS = {Platform.FIGURE_EIGHT: 120, Platform.MTURK: 60}
+
+
+@pytest.fixture(scope="module")
+def pool(schema):
+    return WorkerPool.recruit(schema, seed=3, recruits=RECRUITS)
+
+
+@pytest.fixture(scope="module")
+def packages(app, pool, default_query):
+    members = pool.sample(6, seed=1)
+    group = Group([w.profile for w in members])
+    profile = group.profile()
+    return {
+        "random": invalid_random_package(app.dataset, default_query, seed=0),
+        "plain": random_package(app.dataset, default_query, seed=1),
+        "kfc": app.kfc.build(profile, default_query),
+    }
+
+
+class TestWorkerPool:
+    def test_retention_prunes_some_workers(self, pool):
+        assert 0 < len(pool) < sum(RECRUITS.values())
+
+    def test_retention_rates_per_platform(self, schema):
+        big = WorkerPool.recruit(schema, seed=9,
+                                 recruits={Platform.FIGURE_EIGHT: 1000,
+                                           Platform.MTURK: 1000})
+        fe = sum(1 for w in big.workers if w.platform is Platform.FIGURE_EIGHT)
+        mt = sum(1 for w in big.workers if w.platform is Platform.MTURK)
+        assert fe / 1000 == pytest.approx(0.901, abs=0.04)
+        assert mt / 1000 == pytest.approx(0.966, abs=0.04)
+
+    def test_profile_payment_on_recruit(self, pool):
+        assert pool.total_paid() == pytest.approx(len(pool) * PROFILE_PAYMENT)
+
+    def test_pay_accumulates(self, schema):
+        pool = WorkerPool.recruit(schema, seed=1,
+                                  recruits={Platform.MTURK: 10})
+        worker = pool.workers[0]
+        before = pool.payments[worker.id]
+        pool.pay(worker.id, EVALUATION_PAYMENT)
+        assert pool.payments[worker.id] == pytest.approx(
+            before + EVALUATION_PAYMENT
+        )
+        with pytest.raises(ValueError):
+            pool.pay(worker.id, -1.0)
+
+    def test_approval_filter(self, pool):
+        qualified = pool.with_min_approval(0.9)
+        assert qualified
+        assert all(w.approval_rate > 0.9 for w in qualified)
+
+    def test_sample_deterministic_and_bounded(self, pool):
+        a = pool.sample(5, seed=2)
+        b = pool.sample(5, seed=2)
+        assert [w.id for w in a] == [w.id for w in b]
+        with pytest.raises(ValueError):
+            pool.sample(len(pool) + 1)
+
+    def test_workers_have_true_and_stated_profiles(self, pool):
+        worker = pool.workers[0]
+        assert worker.profile is not worker.true_profile
+        # Stated is a noisy version of true: same support for sparse
+        # members, broadly similar overall.
+        from repro.metrics.similarity import cosine
+        sims = [cosine(w.profile.concatenated(),
+                       w.true_profile.concatenated())
+                for w in pool.workers[:50]]
+        assert np.mean(sims) > 0.7
+
+
+class TestSatisfaction:
+    def test_affinity_in_minus_one_one(self, pool, packages, app):
+        for worker in pool.workers[:10]:
+            for package in packages.values():
+                a = package_affinity(worker.true_profile, package,
+                                     app.item_index)
+                assert -1.0 <= a <= 1.0
+
+    def test_ratings_in_range(self, pool, packages, app):
+        rng = np.random.default_rng(0)
+        for worker in pool.workers[:20]:
+            scores = session_ratings(worker, packages, app.item_index, rng)
+            assert set(scores) == set(packages)
+            assert all(1 <= s <= 5 for s in scores.values())
+            single = rate_package(worker, packages["kfc"], app.item_index, rng)
+            assert 1 <= single <= 5
+
+    def test_diligent_worker_prefers_better_package(self, pool, packages, app):
+        """A maximally diligent worker should prefer the package with
+        the higher affinity most of the time."""
+        worker = max(pool.workers, key=lambda w: w.diligence)
+        rng = np.random.default_rng(1)
+        first = packages["kfc"]
+        second = packages["plain"]
+        a = package_affinity(worker.true_profile, first, app.item_index)
+        b = package_affinity(worker.true_profile, second, app.item_index)
+        better, worse = (first, second) if a >= b else (second, first)
+        wins = sum(prefers(worker, better, worse, app.item_index, rng)
+                   for _ in range(40))
+        assert wins > 20
+
+
+class TestProtocols:
+    def test_independent_filters_and_pays(self, pool, packages, app):
+        members = pool.sample(12, seed=5)
+        result = independent_evaluation(members, packages, app.item_index,
+                                        seed=1, pool=pool)
+        assert result["n_attentive"] + result["n_discarded"] == 12
+        assert set(result["mean_ratings"]) == set(packages)
+
+    def test_independent_without_check_keeps_everyone(self, pool, packages,
+                                                      app):
+        members = pool.sample(8, seed=6)
+        result = independent_evaluation(members, packages, app.item_index,
+                                        seed=1, check_label=None)
+        assert result["n_discarded"] == 0
+        assert result["n_attentive"] == 8
+
+    def test_comparative_default_pairs(self, pool, packages, app):
+        members = pool.sample(10, seed=7)
+        result = comparative_evaluation(members, packages, app.item_index,
+                                        seed=2)
+        # Non-check labels: plain, kfc -> one pair.
+        assert set(result["supremacy"]) == {("plain", "kfc")}
+        value = result["supremacy"][("plain", "kfc")]
+        assert 0.0 <= value <= 100.0
+
+    def test_comparative_explicit_pairs(self, pool, packages, app):
+        members = pool.sample(10, seed=8)
+        pairs = [("kfc", "plain"), ("kfc", "random")]
+        result = comparative_evaluation(members, packages, app.item_index,
+                                        pairs=pairs, seed=3)
+        assert set(result["supremacy"]) == set(pairs)
+
+
+class TestGroupFormation:
+    def test_form_uniform_group(self, pool):
+        rng = np.random.default_rng(0)
+        used: set[int] = set()
+        group, workers = form_group(pool.workers, 5, True, rng, used)
+        from repro.metrics.uniformity import group_uniformity
+        assert group_uniformity(group) > 0.85
+        assert len(used) == 5
+
+    def test_form_non_uniform_group(self, pool):
+        rng = np.random.default_rng(0)
+        used: set[int] = set()
+        group, workers = form_group(pool.workers, 5, False, rng, used)
+        from repro.metrics.uniformity import group_uniformity
+        assert group_uniformity(group) < 0.20
+
+    def test_workers_not_reused(self, pool):
+        rng = np.random.default_rng(0)
+        used: set[int] = set()
+        _, first = form_group(pool.workers, 5, True, rng, used)
+        _, second = form_group(pool.workers, 5, True, rng, used)
+        assert not {w.id for w in first} & {w.id for w in second}
+
+    def test_pool_too_small_raises(self, pool):
+        rng = np.random.default_rng(0)
+        used = {w.id for w in pool.workers}
+        with pytest.raises(GroupFormationError):
+            form_group(pool.workers, 5, True, rng, used)
+
+    def test_form_study_roster(self, pool):
+        roster = form_study_groups(pool, sizes={"small": 5},
+                                   groups_per_size_uniform=2,
+                                   groups_per_size_non_uniform=1, seed=4)
+        assert len(roster[(True, "small")]) == 2
+        assert len(roster[(False, "small")]) == 1
