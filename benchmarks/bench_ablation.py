@@ -1,4 +1,4 @@
-"""Ablation benches for KFC's design choices (DESIGN.md Section 4).
+"""Ablation benches for KFC's design choices (design-notes ablations).
 
 Two knobs the reproduction had to pick without paper pseudo-code:
 

@@ -1,7 +1,7 @@
 """Shared fixtures for the benchmark harness.
 
-Every benchmark regenerates one of the paper's tables or figures (see
-DESIGN.md's per-experiment index).  Two context scales are provided:
+Every benchmark regenerates one of the paper's tables or figures, or
+times a serving/core hot path.  Two context scales are provided:
 
 * ``bench_ctx`` -- a reduced-but-representative configuration so the
   whole suite completes in minutes.  Set ``GROUPTRAVEL_BENCH_FULL=1``

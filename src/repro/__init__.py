@@ -18,11 +18,14 @@ Quickstart::
     package = app.build_package(group, GroupQuery.of(acco=1, trans=1,
                                                      rest=1, attr=3))
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-reproduced tables and figures.
+For serving workloads (request/response wire format, per-city asset
+pooling, package caching, batched builds), see :mod:`repro.service` --
+``python -m repro.service`` runs a JSON-lines demo.  README.md has the
+architecture overview; ``repro.experiments`` reproduces the paper's
+tables and figures.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import (
     CompositeItem,

@@ -15,7 +15,7 @@ to one -- the constraint in the paper's Equation 1.
 The paper writes the fuzzifier as ``f <= 1``; standard FCM requires the
 exponent to exceed 1 (at ``m -> 1`` the memberships degenerate to hard
 assignment and the update divides by zero), so we expose ``m`` with the
-conventional default of 2 and document the deviation in DESIGN.md.
+conventional default of 2 and document the deviation in README.md (design notes).
 """
 
 from __future__ import annotations
@@ -66,7 +66,7 @@ class FuzzyCMeans:
         if m <= 1.0:
             raise ValueError(
                 "fuzzifier m must be > 1 (the paper's f <= 1 degenerates "
-                "to hard clustering; see DESIGN.md)"
+                "to hard clustering; see README.md design notes)"
             )
         self.n_clusters = n_clusters
         self.m = m

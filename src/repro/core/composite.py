@@ -87,6 +87,24 @@ class CompositeItem:
                 ))
         return total
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization."""
+        return {
+            "pois": [p.to_dict() for p in self.pois],
+            "centroid": list(self.centroid),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompositeItem":
+        """Inverse of :meth:`to_dict`."""
+        centroid = data.get("centroid")
+        return cls(
+            (POI.from_dict(d) for d in data["pois"]),
+            centroid=tuple(centroid) if centroid is not None else None,
+        )
+
     # -- functional updates (customization builds new CIs) ------------------
 
     def without(self, poi_id: int) -> "CompositeItem":

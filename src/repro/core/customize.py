@@ -61,6 +61,29 @@ class Interaction:
     ci_index: int = 0
     actor: int | None = None
 
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization (session logs cross
+        the wire so clients can audit refinement inputs)."""
+        return {
+            "kind": self.kind.value,
+            "added": [p.to_dict() for p in self.added],
+            "removed": [p.to_dict() for p in self.removed],
+            "ci_index": self.ci_index,
+            "actor": self.actor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Interaction":
+        """Inverse of :meth:`to_dict`."""
+        actor = data.get("actor")
+        return cls(
+            kind=InteractionKind(data["kind"]),
+            added=tuple(POI.from_dict(d) for d in data.get("added", ())),
+            removed=tuple(POI.from_dict(d) for d in data.get("removed", ())),
+            ci_index=int(data.get("ci_index", 0)),
+            actor=int(actor) if actor is not None else None,
+        )
+
 
 @dataclass
 class CustomizationSession:

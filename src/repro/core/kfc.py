@@ -160,16 +160,23 @@ class KFCBuilder:
                 fcm_pull = (weighted[:, j] @ self._projected) / weighted[:, j].sum()
             else:
                 fcm_pull = cent_xy[j]
-            ci_xy = self._project_points(
-                np.array([[p.lat, p.lon] for p in ci.pois])
-            )
+            # An empty CI (possible after whole-CI deletion in a
+            # customization session) contributes no beta pull; guarding
+            # here also keeps np.array([]) from reaching _project_points
+            # as a 1-D array.
+            if ci.pois:
+                ci_xy_sum = self._project_points(
+                    np.array([[p.lat, p.lon] for p in ci.pois])
+                ).sum(axis=0)
+            else:
+                ci_xy_sum = np.zeros(2)
             ci_weight = weights.beta * len(ci.pois)
             total = pull_weight + ci_weight
             if total <= 0:
                 new_xy[j] = cent_xy[j]
                 continue
             new_xy[j] = (weights.alpha * weighted[:, j].sum() * fcm_pull
-                         + weights.beta * ci_xy.sum(axis=0)) / total
+                         + weights.beta * ci_xy_sum) / total
         return self._unproject(new_xy)
 
     def build(self, profile: GroupProfile, query: GroupQuery,

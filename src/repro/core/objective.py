@@ -38,7 +38,7 @@ class ObjectiveWeights:
         beta: Weight of the CI-to-centroid proximity (cohesiveness) term.
         gamma: Weight of the personalization term.
         fuzzifier: FCM weighting exponent applied to memberships in the
-            first term (the paper's ``f``; see DESIGN.md on ``f <= 1``).
+            first term (the paper's ``f``; see the README design notes on ``f <= 1``).
     """
 
     alpha: float = 1.0
@@ -50,6 +50,22 @@ class ObjectiveWeights:
         for name in ("alpha", "beta", "gamma"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization."""
+        return {"alpha": self.alpha, "beta": self.beta,
+                "gamma": self.gamma, "fuzzifier": self.fuzzifier}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObjectiveWeights":
+        """Inverse of :meth:`to_dict`; missing fields keep defaults."""
+        defaults = cls()
+        return cls(
+            alpha=float(data.get("alpha", defaults.alpha)),
+            beta=float(data.get("beta", defaults.beta)),
+            gamma=float(data.get("gamma", defaults.gamma)),
+            fuzzifier=float(data.get("fuzzifier", defaults.fuzzifier)),
+        )
 
 
 def fuzzy_memberships(distances: np.ndarray, fuzzifier: float = 2.0) -> np.ndarray:

@@ -91,6 +91,25 @@ class TravelPackage:
             [ci.pois for ci in self.composite_items], profile, item_index
         )
 
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization (the service wire
+        format)."""
+        return {
+            "composite_items": [ci.to_dict() for ci in self.composite_items],
+            "query": self.query.to_dict() if self.query is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TravelPackage":
+        """Inverse of :meth:`to_dict`."""
+        query = data.get("query")
+        return cls(
+            (CompositeItem.from_dict(d) for d in data["composite_items"]),
+            query=GroupQuery.from_dict(query) if query is not None else None,
+        )
+
     # -- functional updates ----------------------------------------------------
 
     def with_composite_item(self, index: int, ci: CompositeItem) -> "TravelPackage":

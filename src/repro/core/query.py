@@ -71,6 +71,24 @@ class GroupQuery:
         """Categories with a positive count, in canonical order."""
         return tuple(c for c in CATEGORIES if self.count(c) > 0)
 
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization.  An infinite budget
+        (JSON has no ``inf``) is encoded as ``None``."""
+        return {
+            "counts": {cat.value: n for cat, n in self.counts.items()},
+            "budget": self.budget if self.has_budget else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "GroupQuery":
+        """Inverse of :meth:`to_dict`."""
+        budget = data.get("budget")
+        return cls(
+            counts={Category.parse(cat): int(n)
+                    for cat, n in data["counts"].items()},
+            budget=math.inf if budget is None else float(budget),
+        )
+
     def __str__(self) -> str:
         parts = [f"{n} {cat.value}" for cat in CATEGORIES
                  if (n := self.count(cat)) > 0]

@@ -1,6 +1,6 @@
 """Experiment runners regenerating every table and figure of the paper.
 
-Each module reproduces one artifact of Section 4 (see DESIGN.md's
+Each module reproduces one artifact of Section 4 (see the module index in this package's
 per-experiment index):
 
 * :mod:`repro.experiments.synthetic_sweep` -- the shared synthetic

@@ -12,7 +12,7 @@ The paper does not spell out its similarity formula; we use
 
 per dimension, averaged over a cell's groups and shown as a percentage,
 where 100% means the group's package serves the median user exactly as
-well as their personal package would (see EXPERIMENTS.md).
+well as their personal package would.
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ cosine 0.20 pairwise, so the non-uniform generator draws *sparse,
 nearly-disjoint* preference supports (each member cares about one or
 two dimensions per category).  That is the only way the paper's
 threshold is satisfiable and matches its reading of non-uniform groups
-as "members with diverse preferences"; see DESIGN.md.
+as "members with diverse preferences"; see the README design notes.
 """
 
 from __future__ import annotations

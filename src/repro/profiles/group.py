@@ -16,7 +16,11 @@ import numpy as np
 
 from repro.data.poi import CATEGORIES, Category
 from repro.profiles.consensus import ConsensusMethod, consensus_scores
-from repro.profiles.schema import ProfileSchema
+from repro.profiles.schema import (
+    ProfileSchema,
+    parse_profile_wire_dict,
+    profile_wire_dict,
+)
 from repro.profiles.user import UserProfile
 
 
@@ -50,6 +54,17 @@ class GroupProfile:
     def concatenated(self) -> np.ndarray:
         """All category vectors concatenated in canonical order."""
         return np.concatenate([self._vectors[cat] for cat in CATEGORIES])
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization (the shared profile
+        wire format of :mod:`repro.profiles.schema`)."""
+        return profile_wire_dict(self.schema, self._vectors)
+
+    @classmethod
+    def from_dict(cls, data: dict, schema: ProfileSchema | None = None) -> "GroupProfile":
+        """Inverse of :meth:`to_dict`; ``schema`` optionally overrides
+        the embedded one (to re-anchor to a live item index)."""
+        return cls(*parse_profile_wire_dict(data, schema=schema))
 
     def updated(self, category: Category | str, vector: np.ndarray) -> "GroupProfile":
         """A new profile with one category vector replaced (used by the

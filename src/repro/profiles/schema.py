@@ -16,7 +16,10 @@ profile vectors agree.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.data.poi import CATEGORIES, Category
 from repro.data.taxonomy import types_for
@@ -54,6 +57,21 @@ class ProfileSchema:
         vectors, e.g. the uniformity computation)."""
         return sum(len(v) for v in self.dimensions.values())
 
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization."""
+        return {
+            "dimensions": {cat.value: list(labels)
+                           for cat, labels in self.dimensions.items()}
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProfileSchema":
+        """Inverse of :meth:`to_dict`."""
+        return cls(dimensions={
+            Category.parse(cat): tuple(labels)
+            for cat, labels in data["dimensions"].items()
+        })
+
     @classmethod
     def with_topic_counts(cls, n_rest_topics: int, n_attr_topics: int) -> "ProfileSchema":
         """A schema using taxonomy types for acco/trans and anonymous
@@ -70,3 +88,40 @@ class ProfileSchema:
         """The default schema: taxonomy types + 8 topics per modelled
         category (matching the taxonomy's 8 restaurant/attraction types)."""
         return cls.with_topic_counts(8, 8)
+
+
+# -- shared profile wire format ------------------------------------------------
+#
+# User and group profiles serialize identically (schema + one vector per
+# category); these helpers are the single definition of that format so
+# the two classes cannot drift apart.
+
+def profile_wire_dict(schema: ProfileSchema,
+                      vectors: Mapping[Category, np.ndarray]) -> dict:
+    """The wire form shared by user and group profiles.  The schema
+    rides along so the profile is self-describing across a process
+    boundary."""
+    return {
+        "schema": schema.to_dict(),
+        "vectors": {cat.value: np.asarray(vectors[cat]).tolist()
+                    for cat in CATEGORIES},
+    }
+
+
+def parse_profile_wire_dict(
+    data: dict, schema: ProfileSchema | None = None,
+) -> tuple[ProfileSchema, dict[Category, np.ndarray]]:
+    """Inverse of :func:`profile_wire_dict`.
+
+    Args:
+        schema: Optional override; defaults to the schema embedded in
+            ``data`` (pass a locally-fitted schema to re-anchor a wire
+            profile to a live item index).
+    """
+    if schema is None:
+        schema = ProfileSchema.from_dict(data["schema"])
+    vectors = {
+        Category.parse(cat): np.asarray(vec, dtype=float)
+        for cat, vec in data["vectors"].items()
+    }
+    return schema, vectors

@@ -18,7 +18,11 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.data.poi import CATEGORIES, Category
-from repro.profiles.schema import ProfileSchema
+from repro.profiles.schema import (
+    ProfileSchema,
+    parse_profile_wire_dict,
+    profile_wire_dict,
+)
 
 #: Rating bounds from the elicitation form.
 MIN_RATING = 0.0
@@ -81,6 +85,17 @@ class UserProfile:
         Used for the group-uniformity cosine (Section 4.1).
         """
         return np.concatenate([self._vectors[cat] for cat in CATEGORIES])
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization (the shared profile
+        wire format of :mod:`repro.profiles.schema`)."""
+        return profile_wire_dict(self.schema, self._vectors)
+
+    @classmethod
+    def from_dict(cls, data: dict, schema: ProfileSchema | None = None) -> "UserProfile":
+        """Inverse of :meth:`to_dict`; ``schema`` optionally overrides
+        the embedded one (to re-anchor to a live item index)."""
+        return cls(*parse_profile_wire_dict(data, schema=schema))
 
     def replace(self, category: Category | str, vector: np.ndarray) -> "UserProfile":
         """A new profile with one category vector swapped out."""

@@ -1,0 +1,47 @@
+"""The GroupTravel serving engine.
+
+Turns the in-process reproduction library into a request/response
+system: typed wire-format requests (:mod:`repro.service.schema`),
+per-city pooled assets (:mod:`repro.service.registry`), a cross-request
+LRU package cache (:mod:`repro.service.cache`), latency accounting
+(:mod:`repro.service.metrics`) and the :class:`PackageService` facade
+(:mod:`repro.service.engine`) with single, batched and session-based
+entry points.
+
+    >>> from repro.service import BuildRequest, GroupSpec, PackageService
+    >>> from repro.service.registry import CityRegistry
+    >>> service = PackageService(CityRegistry(scale=0.3, lda_iterations=40))
+    >>> response = service.build(BuildRequest(                 # doctest: +SKIP
+    ...     city="paris", group_spec=GroupSpec(size=5, seed=3)))
+
+``python -m repro.service`` runs a JSON-lines demo over two cities; see
+:mod:`repro.service.__main__`.
+"""
+
+from repro.service.cache import PackageCache, cache_key, profile_fingerprint
+from repro.service.engine import PackageService, UnknownSessionError
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import CityEntry, CityRegistry
+from repro.service.schema import (
+    BuildRequest,
+    CustomizeOp,
+    CustomizeRequest,
+    GroupSpec,
+    PackageResponse,
+)
+
+__all__ = [
+    "BuildRequest",
+    "CityEntry",
+    "CityRegistry",
+    "CustomizeOp",
+    "CustomizeRequest",
+    "GroupSpec",
+    "PackageCache",
+    "PackageResponse",
+    "PackageService",
+    "ServiceMetrics",
+    "UnknownSessionError",
+    "cache_key",
+    "profile_fingerprint",
+]

@@ -1,0 +1,140 @@
+"""Cross-request package caching.
+
+Building one Travel Package runs CI assembly around every centroid for
+several refinement rounds -- tens of milliseconds of numpy work even on
+a small city.  Serving interactive traffic means most requests repeat
+(a group reloading its itinerary, several members viewing one plan), so
+an LRU cache over complete build inputs turns those repeats into a dict
+lookup.
+
+The key must capture *everything* the builder's output depends on:
+the city, the group profile (hashed canonically from its vector bytes),
+the query, the Equation 1 weights, ``k`` and the FCM seed.  Packages
+are immutable (customization swaps in new instances), so cached objects
+are shared between callers without copying.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import OrderedDict
+from threading import Lock
+
+import numpy as np
+
+from repro.core.objective import ObjectiveWeights
+from repro.core.query import GroupQuery
+from repro.data.poi import CATEGORIES
+from repro.profiles.group import GroupProfile
+
+
+def profile_fingerprint(profile: GroupProfile) -> str:
+    """A canonical content hash of a group profile.
+
+    Two profiles with equal per-category vectors hash equally no matter
+    how they were constructed (consensus, refinement, or the wire), so
+    a client resubmitting a round-tripped profile still hits the cache.
+    """
+    digest = hashlib.sha256()
+    for cat in CATEGORIES:
+        digest.update(cat.value.encode())
+        digest.update(np.ascontiguousarray(
+            profile.vector(cat), dtype=np.float64
+        ).tobytes())
+    return digest.hexdigest()
+
+
+def cache_key(city: str, profile: GroupProfile, query: GroupQuery,
+              weights: ObjectiveWeights | None, k: int | None,
+              seed: int | None) -> tuple:
+    """The full cache key for one build request.
+
+    ``None`` for ``weights``/``k``/``seed`` means "the city builder's
+    defaults" and is kept distinct from explicit values on purpose: two
+    registries may configure the same city differently.
+    """
+    query_part = (
+        tuple(sorted((cat.value, n) for cat, n in query.counts.items())),
+        query.budget if math.isfinite(query.budget) else None,
+    )
+    weights_part = (
+        (weights.alpha, weights.beta, weights.gamma, weights.fuzzifier)
+        if weights is not None else None
+    )
+    return (city, profile_fingerprint(profile), query_part, weights_part,
+            k, seed)
+
+
+class PackageCache:
+    """A thread-safe LRU cache of build results.
+
+    Values are whatever the engine stores per key -- in practice the
+    built :class:`~repro.core.package.TravelPackage` *with* its derived
+    quality metrics, so a warm hit repeats none of the numpy work.
+
+    Args:
+        capacity: Maximum number of cached entries; the least recently
+            used entry is evicted beyond it.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple):
+        """The cached value for ``key``, refreshing its recency;
+        ``None`` (and a counted miss) when absent."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: tuple, value) -> None:
+        """Insert (or refresh) a value, evicting the LRU entry when
+        over capacity."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 before any traffic)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters snapshot for responses and dashboards."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; cold-start benchmarks
+        reset by constructing a fresh cache)."""
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,350 @@
+"""The ``PackageService`` facade -- GroupTravel as a serving engine.
+
+One service instance holds a :class:`~repro.service.registry.CityRegistry`
+(per-city pooled assets), a :class:`~repro.service.cache.PackageCache`
+(cross-request LRU over complete build inputs) and a
+:class:`~repro.service.metrics.ServiceMetrics` ledger, and exposes:
+
+* :meth:`PackageService.build` -- one request, one response, cached;
+* :meth:`PackageService.build_batch` -- thread-pooled fan-out over
+  independent requests (package assembly is numpy-bound, so worker
+  threads overlap usefully under the GIL);
+* :meth:`PackageService.open_session` / :meth:`PackageService.apply` --
+  stateful concurrent customization sessions whose interaction logs
+  feed the existing profile-refinement strategies.
+
+Every entry point takes and returns the wire types of
+:mod:`repro.service.schema`; failures come back as error responses, not
+exceptions, so one bad request cannot poison a batch.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from threading import Lock
+
+from repro.core.customize import CustomizationSession, Interaction
+from repro.core.package import TravelPackage
+from repro.core.query import DEFAULT_QUERY, GroupQuery
+from repro.core.refine import refine_batch
+from repro.data.poi import POI, Category
+from repro.profiles.group import GroupProfile
+from repro.service.cache import PackageCache, cache_key
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import CityEntry, CityRegistry
+from repro.service.schema import (
+    BuildRequest,
+    CustomizeOp,
+    CustomizeRequest,
+    PackageResponse,
+)
+
+#: Default worker threads for the batch path.
+_DEFAULT_BATCH_WORKERS = 8
+
+
+class UnknownSessionError(KeyError):
+    """Raised when a session id does not name an open session."""
+
+
+@dataclass
+class _Session:
+    """One open customization session and its serving context.
+
+    ``origin`` is the request that opened the session: rebuilds must
+    reuse its weights/k/seed, not the city defaults.
+    """
+
+    id: str
+    entry: CityEntry
+    editor: CustomizationSession
+    profile: GroupProfile
+    origin: BuildRequest
+    lock: Lock = field(default_factory=Lock)
+
+
+class PackageService:
+    """A multi-city Travel-Package serving engine.
+
+    Args:
+        registry: Per-city asset pool; a default registry (full-scale
+            synthetic cities) is created when omitted.
+        cache_capacity: LRU capacity of the package cache.
+        max_workers: Thread-pool width for :meth:`build_batch`.
+    """
+
+    def __init__(self, registry: CityRegistry | None = None,
+                 cache_capacity: int = 256,
+                 max_workers: int = _DEFAULT_BATCH_WORKERS) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.registry = registry or CityRegistry()
+        self.cache = PackageCache(cache_capacity)
+        self.metrics = ServiceMetrics()
+        self.max_workers = max_workers
+        self._sessions: dict[str, _Session] = {}
+        self._sessions_lock = Lock()
+        self._session_ids = itertools.count(1)
+
+    # -- building ----------------------------------------------------------
+
+    def _resolve_profile(self, entry: CityEntry,
+                         request: BuildRequest) -> GroupProfile:
+        """The group profile a request names, validated against the
+        city's fitted schema."""
+        if request.profile is not None:
+            profile = request.profile
+            for cat in Category:
+                expected = entry.schema.size(cat)
+                got = profile.vector(cat).shape[0]
+                if got != expected:
+                    raise ValueError(
+                        f"profile vector for {cat} has {got} dimensions, "
+                        f"city {entry.name!r} expects {expected}"
+                    )
+            return profile
+        return self.registry.group_profile(entry.name, request.group_spec)
+
+    def _package_metrics(self, entry: CityEntry, package: TravelPackage,
+                         profile: GroupProfile) -> dict:
+        """The Section 4.2 quality measures reported with a response."""
+        return {
+            "k": package.k,
+            "representativity_km": package.representativity(),
+            "within_ci_km": package.raw_cohesiveness_sum(),
+            "personalization": package.personalization(
+                profile, entry.item_index
+            ),
+            "valid": (package.is_valid()
+                      if package.query is not None else None),
+        }
+
+    def build(self, request: BuildRequest) -> PackageResponse:
+        """Serve one build request, through the cache.
+
+        The cache stores the package *and* its quality metrics, so a
+        warm hit repeats none of the build-time numpy work.
+        """
+        start = time.perf_counter()
+        try:
+            entry = self.registry.entry(request.city)
+            profile = self._resolve_profile(entry, request)
+            key = cache_key(entry.name, profile, request.query,
+                            request.weights, request.k, request.seed)
+            hit = self.cache.get(key)
+            cached = hit is not None
+            if hit is None:
+                package = entry.builder.build(
+                    profile, request.query, k=request.k, seed=request.seed,
+                    weights=request.weights,
+                )
+                package_metrics = self._package_metrics(entry, package,
+                                                        profile)
+                self.cache.put(key, (package, package_metrics))
+            else:
+                package, package_metrics = hit
+        except (KeyError, ValueError, RuntimeError) as exc:
+            return self._error_response(request.city, exc, start,
+                                        request_id=request.request_id)
+        latency = time.perf_counter() - start
+        self.metrics.record("build_cached" if cached else "build", latency)
+        return PackageResponse(
+            city=entry.name, package=package, cached=cached,
+            latency_ms=latency * 1000.0, metrics=package_metrics,
+            request_id=request.request_id,
+        )
+
+    def build_batch(self, requests: list[BuildRequest]) -> list[PackageResponse]:
+        """Serve independent requests concurrently, preserving order.
+
+        Responses are positionally aligned with ``requests``; a failed
+        request yields an error response in its slot.
+        """
+        start = time.perf_counter()
+        if len(requests) <= 1:
+            responses = [self.build(r) for r in requests]
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                responses = list(pool.map(self.build, requests))
+        self.metrics.record("build_batch", time.perf_counter() - start)
+        return responses
+
+    def _error_response(self, city: str, exc: Exception, start: float,
+                        request_id: str | None = None,
+                        session_id: str | None = None) -> PackageResponse:
+        latency = time.perf_counter() - start
+        self.metrics.record("error", latency)
+        message = str(exc) or exc.__class__.__name__
+        return PackageResponse(city=city, error=message,
+                               latency_ms=latency * 1000.0,
+                               request_id=request_id, session_id=session_id)
+
+    # -- customization sessions ---------------------------------------------
+
+    def open_session(self, request: BuildRequest) -> PackageResponse:
+        """Build a package (through the cache) and open a customization
+        session on it.  The response carries the new ``session_id``."""
+        response = self.build(request)
+        if not response.ok:
+            return response
+        entry = self.registry.entry(request.city)
+        profile = self._resolve_profile(entry, request)
+        weights = request.weights or entry.builder.weights
+        editor = CustomizationSession(
+            package=response.package, dataset=entry.dataset, profile=profile,
+            item_index=entry.item_index, beta=weights.beta,
+            gamma=weights.gamma,
+        )
+        session_id = f"s{next(self._session_ids)}"
+        with self._sessions_lock:
+            self._sessions[session_id] = _Session(
+                id=session_id, entry=entry, editor=editor, profile=profile,
+                origin=request,
+            )
+        return replace(response, session_id=session_id)
+
+    def _session(self, session_id: str) -> _Session:
+        with self._sessions_lock:
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise UnknownSessionError(
+                    f"no open session {session_id!r}"
+                ) from None
+
+    def apply(self, request: CustomizeRequest) -> PackageResponse:
+        """Apply one customization operator inside a session and return
+        the session's current package."""
+        start = time.perf_counter()
+        try:
+            session = self._session(request.session_id)
+        except UnknownSessionError as exc:
+            return self._error_response("", exc, start,
+                                        request_id=request.request_id,
+                                        session_id=request.session_id)
+        entry = session.entry
+        try:
+            with session.lock:
+                self._dispatch(session, request)
+                package = session.editor.package
+        except (KeyError, ValueError, StopIteration, IndexError) as exc:
+            return self._error_response(entry.name, exc, start,
+                                        request_id=request.request_id,
+                                        session_id=request.session_id)
+        latency = time.perf_counter() - start
+        self.metrics.record("customize", latency)
+        return PackageResponse(
+            city=entry.name, package=package, latency_ms=latency * 1000.0,
+            metrics=self._package_metrics(entry, package, session.profile),
+            session_id=request.session_id, request_id=request.request_id,
+        )
+
+    def _dispatch(self, session: _Session, request: CustomizeRequest) -> None:
+        editor = session.editor
+        dataset = session.entry.dataset
+        if request.op is CustomizeOp.REMOVE:
+            if request.poi_id not in editor.package[request.ci_index]:
+                raise KeyError(
+                    f"POI {request.poi_id} is not in CI {request.ci_index}"
+                )
+            editor.remove(request.ci_index, request.poi_id,
+                          actor=request.actor)
+        elif request.op is CustomizeOp.ADD:
+            editor.add(request.ci_index, dataset[request.add_poi_id],
+                       actor=request.actor)
+        elif request.op is CustomizeOp.REPLACE:
+            if request.poi_id not in editor.package[request.ci_index]:
+                raise KeyError(
+                    f"POI {request.poi_id} is not in CI {request.ci_index}"
+                )
+            replacement = (dataset[request.replacement_id]
+                           if request.replacement_id is not None else None)
+            editor.replace(request.ci_index, request.poi_id,
+                           replacement=replacement, actor=request.actor)
+        elif request.op is CustomizeOp.GENERATE:
+            editor.generate(request.rectangle(), actor=request.actor)
+        elif request.op is CustomizeOp.DELETE_CI:
+            editor.delete_composite_item(request.ci_index,
+                                         actor=request.actor)
+        else:  # pragma: no cover - CustomizeRequest validates the op
+            raise ValueError(f"unsupported operator {request.op!r}")
+
+    def suggest_additions(self, session_id: str, ci_index: int, k: int = 5,
+                          category: Category | str | None = None,
+                          poi_type: str | None = None) -> list[POI]:
+        """ADD candidates near a CI's centroid (the UI's pick list)."""
+        session = self._session(session_id)
+        with session.lock:
+            return session.editor.suggest_additions(
+                ci_index, k=k, category=category, poi_type=poi_type,
+            )
+
+    def interactions(self, session_id: str) -> list[Interaction]:
+        """A session's interaction log so far (a copy)."""
+        session = self._session(session_id)
+        with session.lock:
+            return list(session.editor.interactions)
+
+    def refine(self, session_id: str) -> GroupProfile:
+        """Batch-refine the session's group profile from its interaction
+        log (Section 3.3).  The refined profile becomes the session's
+        profile, so subsequent GENERATE operators and
+        :meth:`rebuild` calls are personalized by it."""
+        session = self._session(session_id)
+        with session.lock, self.metrics.timed("refine"):
+            refined = refine_batch(session.profile,
+                                   session.editor.interactions,
+                                   session.entry.item_index)
+            session.profile = refined
+            session.editor.profile = refined
+        return refined
+
+    def rebuild(self, session_id: str,
+                query: GroupQuery | None = None) -> PackageResponse:
+        """Build a fresh package from the session's (possibly refined)
+        profile and swap it into the session."""
+        session = self._session(session_id)
+        with session.lock:
+            request = BuildRequest(
+                city=session.entry.name,
+                query=query or session.editor.package.query or DEFAULT_QUERY,
+                profile=session.profile,
+                weights=session.origin.weights,
+                k=session.origin.k,
+                seed=session.origin.seed,
+            )
+            response = self.build(request)
+            if response.ok:
+                session.editor.package = response.package
+        return replace(response, session_id=session_id)
+
+    def close_session(self, session_id: str) -> list[Interaction]:
+        """Close a session, returning its final interaction log."""
+        with self._sessions_lock:
+            try:
+                session = self._sessions.pop(session_id)
+            except KeyError:
+                raise UnknownSessionError(
+                    f"no open session {session_id!r}"
+                ) from None
+        return list(session.editor.interactions)
+
+    @property
+    def open_sessions(self) -> int:
+        """Number of currently open customization sessions."""
+        with self._sessions_lock:
+            return len(self._sessions)
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """One JSON-ready snapshot of the service's counters."""
+        return {
+            "cities": list(self.registry.loaded()),
+            "open_sessions": self.open_sessions,
+            "cache": self.cache.stats(),
+            "metrics": self.metrics.snapshot(),
+        }

@@ -1,0 +1,101 @@
+"""Service-side latency and throughput accounting.
+
+A :class:`ServiceMetrics` instance counts and times every operation the
+:class:`~repro.service.engine.PackageService` performs, keyed by
+operation name (``build``, ``build_cached``, ``customize`` ...).  A
+bounded window of recent samples per operation supports percentile
+estimates without unbounded memory; totals are exact.
+
+Everything is thread-safe: the batch path records from worker threads.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from threading import Lock
+
+#: Samples kept per operation for percentile estimates.
+_WINDOW = 1024
+
+
+class _OpStats:
+    """Counters for one operation name."""
+
+    __slots__ = ("count", "total_s", "min_s", "max_s", "recent")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+        self.recent: deque[float] = deque(maxlen=_WINDOW)
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+        self.recent.append(seconds)
+
+    def snapshot(self) -> dict:
+        window = sorted(self.recent)
+
+        def pct(q: float) -> float:
+            index = min(int(q * len(window)), len(window) - 1)
+            return window[index] * 1000.0
+
+        return {
+            "count": self.count,
+            "total_ms": self.total_s * 1000.0,
+            "mean_ms": (self.total_s / self.count) * 1000.0,
+            "min_ms": self.min_s * 1000.0,
+            "max_ms": self.max_s * 1000.0,
+            "p50_ms": pct(0.50),
+            "p95_ms": pct(0.95),
+        }
+
+
+class ServiceMetrics:
+    """Per-operation latency counters with percentile windows."""
+
+    def __init__(self) -> None:
+        self._ops: dict[str, _OpStats] = {}
+        self._lock = Lock()
+        self._started = time.perf_counter()
+
+    def record(self, op: str, seconds: float) -> None:
+        """Count one completed operation of ``seconds`` wall clock."""
+        with self._lock:
+            stats = self._ops.get(op)
+            if stats is None:
+                stats = self._ops[op] = _OpStats()
+            stats.record(seconds)
+
+    @contextmanager
+    def timed(self, op: str):
+        """Context manager timing a block into ``op``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(op, time.perf_counter() - start)
+
+    def count(self, op: str) -> int:
+        """Completed operations under one name (0 when unseen)."""
+        stats = self._ops.get(op)
+        return stats.count if stats else 0
+
+    def snapshot(self) -> dict:
+        """All per-operation stats plus aggregate throughput."""
+        with self._lock:
+            elapsed = time.perf_counter() - self._started
+            ops = {name: stats.snapshot() for name, stats in self._ops.items()}
+        total = sum(stats["count"] for stats in ops.values())
+        return {
+            "uptime_s": elapsed,
+            "total_operations": total,
+            "throughput_per_s": total / elapsed if elapsed > 0 else 0.0,
+            "operations": ops,
+        }

@@ -1,0 +1,182 @@
+"""Per-city resource pooling.
+
+The expensive artifacts behind every request are per-city and
+profile-independent: the POI dataset, the fitted
+:class:`~repro.profiles.vectors.ItemVectorIndex` (two LDA models) and
+the :class:`~repro.core.kfc.KFCBuilder` (whose FCM centroid seeds are
+cached inside the builder).  :class:`CityRegistry` materializes each of
+them exactly once per city -- lazily on first request, under a per-city
+lock so concurrent cold requests for one city do not fit LDA twice --
+and shares them across every request the service ever serves for that
+city.
+
+Cities come from two places: any of the eight synthetic templates
+(:mod:`repro.data.cities`) generated on demand, or datasets registered
+explicitly (e.g. loaded from JSON dumps of real data).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import Lock
+
+from repro.core.kfc import KFCBuilder
+from repro.core.objective import ObjectiveWeights
+from repro.data.cities import city_names
+from repro.data.dataset import POIDataset
+from repro.data.synthetic import generate_city
+from repro.profiles.consensus import ConsensusMethod
+from repro.profiles.generator import GroupGenerator
+from repro.profiles.group import GroupProfile
+from repro.profiles.schema import ProfileSchema
+from repro.profiles.vectors import ItemVectorIndex
+from repro.service.schema import GroupSpec
+
+
+@dataclass(frozen=True)
+class CityEntry:
+    """The pooled per-city serving assets."""
+
+    name: str
+    dataset: POIDataset
+    item_index: ItemVectorIndex
+    builder: KFCBuilder
+
+    @property
+    def schema(self) -> ProfileSchema:
+        """The profile coordinate system requests must match."""
+        return self.item_index.schema
+
+
+class CityRegistry:
+    """Lazily-loaded, shared per-city serving assets.
+
+    Args:
+        seed: Master seed for city generation, LDA and FCM.
+        scale: City-size multiplier for generated cities.
+        lda_iterations: Gibbs sweeps when fitting item vectors.
+        k: Default Composite Items per package.
+        weights: Default Equation 1 weights for the builders.
+        candidate_pool: Assembly candidate cap per category.
+    """
+
+    def __init__(self, seed: int = 2019, scale: float = 1.0,
+                 lda_iterations: int = 120, k: int = 5,
+                 weights: ObjectiveWeights = ObjectiveWeights(),
+                 candidate_pool: int = 60) -> None:
+        self.seed = seed
+        self.scale = scale
+        self.lda_iterations = lda_iterations
+        self.k = k
+        self.weights = weights
+        self.candidate_pool = candidate_pool
+        self._entries: dict[str, CityEntry] = {}
+        self._profiles: OrderedDict[tuple, GroupProfile] = OrderedDict()
+        self._lock = Lock()
+        self._city_locks: dict[str, Lock] = {}
+
+    #: Bound on cached spec resolutions; unlike city entries (at most
+    #: eight templates) distinct specs are client-controlled, so the
+    #: cache must not grow with traffic.
+    _MAX_PROFILES = 1024
+
+    # -- loading -----------------------------------------------------------
+
+    def _lock_for(self, city: str) -> Lock:
+        with self._lock:
+            lock = self._city_locks.get(city)
+            if lock is None:
+                lock = self._city_locks[city] = Lock()
+            return lock
+
+    def register(self, dataset: POIDataset,
+                 item_index: ItemVectorIndex | None = None,
+                 name: str | None = None) -> CityEntry:
+        """Install a pre-built dataset (and optionally its item index)
+        under ``name`` (default: the dataset's own city name).
+
+        Registering replaces any previously-loaded entry of that name;
+        benchmarks use this to serve cities a test harness already
+        built.
+        """
+        city = (name or dataset.city).lower()
+        if not city:
+            raise ValueError("a registered dataset needs a city name")
+        entry = self._make_entry(city, dataset, item_index)
+        with self._lock:
+            self._entries[city] = entry
+        return entry
+
+    def _make_entry(self, city: str, dataset: POIDataset,
+                    item_index: ItemVectorIndex | None = None) -> CityEntry:
+        index = item_index or ItemVectorIndex.fit(
+            dataset, lda_iterations=self.lda_iterations, seed=self.seed
+        )
+        builder = KFCBuilder(
+            dataset, index, weights=self.weights, k=self.k, seed=self.seed,
+            candidate_pool=self.candidate_pool,
+        )
+        return CityEntry(name=city, dataset=dataset, item_index=index,
+                         builder=builder)
+
+    def entry(self, city: str) -> CityEntry:
+        """The pooled assets for ``city``, generating and fitting them
+        on first use (template cities only; other names must be
+        registered first)."""
+        city = city.lower()
+        existing = self._entries.get(city)
+        if existing is not None:
+            return existing
+        with self._lock_for(city):
+            existing = self._entries.get(city)
+            if existing is not None:  # lost the race to another thread
+                return existing
+            dataset = generate_city(city, seed=self.seed, scale=self.scale)
+            entry = self._make_entry(city, dataset)
+            with self._lock:
+                self._entries[city] = entry
+            return entry
+
+    # -- views -------------------------------------------------------------
+
+    def dataset(self, city: str) -> POIDataset:
+        return self.entry(city).dataset
+
+    def builder(self, city: str) -> KFCBuilder:
+        return self.entry(city).builder
+
+    def schema(self, city: str) -> ProfileSchema:
+        return self.entry(city).schema
+
+    def loaded(self) -> tuple[str, ...]:
+        """Names of cities whose assets are materialized."""
+        with self._lock:
+            return tuple(sorted(self._entries))
+
+    def available(self) -> tuple[str, ...]:
+        """Every city this registry can serve without registration."""
+        return tuple(sorted(set(city_names()) | set(self._entries)))
+
+    # -- synthetic groups ----------------------------------------------------
+
+    def group_profile(self, city: str, spec: GroupSpec) -> GroupProfile:
+        """Resolve a :class:`~repro.service.schema.GroupSpec` against a
+        city's schema.  Resolution is deterministic in (city, spec) and
+        cached, so repeated spec-based requests hash to one cache key."""
+        city = city.lower()
+        key = (city, spec.size, spec.uniform, spec.seed, spec.method, spec.w1)
+        with self._lock:
+            cached = self._profiles.get(key)
+            if cached is not None:
+                self._profiles.move_to_end(key)
+                return cached
+        entry = self.entry(city)
+        generator = GroupGenerator(entry.schema, seed=spec.seed)
+        group = generator.group(spec.size, uniform=spec.uniform)
+        profile = group.profile(ConsensusMethod(spec.method), w1=spec.w1)
+        with self._lock:
+            self._profiles[key] = profile
+            while len(self._profiles) > self._MAX_PROFILES:
+                self._profiles.popitem(last=False)
+        return profile

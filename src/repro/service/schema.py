@@ -1,0 +1,288 @@
+"""Typed requests and responses -- the service wire format.
+
+Everything crossing the service boundary is a frozen dataclass with a
+complete JSON round trip (``to_dict``/``from_dict``), built on the
+serialization hooks of the core and profile classes.  A client can
+therefore be a separate process speaking JSON lines (see
+:mod:`repro.service.__main__`) without importing anything beyond the
+schema module.
+
+Two ways to name a group in a :class:`BuildRequest`:
+
+* ``profile`` -- an explicit serialized
+  :class:`~repro.profiles.group.GroupProfile` (the normal path for a
+  client that elicited real ratings); or
+* ``group_spec`` -- a :class:`GroupSpec` describing a synthetic group
+  (size, uniformity, seed, consensus method), resolved server-side
+  against the city's fitted schema.  This is what makes a pure-JSON
+  demo possible: the client cannot know the LDA topic labels a city's
+  item index discovered, so it asks the server to draw the group.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.customize import InteractionKind
+from repro.core.objective import ObjectiveWeights
+from repro.core.package import TravelPackage
+from repro.core.query import DEFAULT_QUERY, GroupQuery
+from repro.geo.rectangle import Rectangle
+from repro.profiles.consensus import ConsensusMethod
+from repro.profiles.group import GroupProfile
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """A server-resolved synthetic group (Section 4.1 generators).
+
+    Attributes:
+        size: Number of members.
+        uniform: Draw a uniform (True) or non-uniform (False) group.
+        seed: Generator seed; equal specs resolve to equal profiles.
+        method: Consensus method aggregating members into the profile.
+        w1: Weight for the combined consensus (``None`` = method default).
+    """
+
+    size: int = 5
+    uniform: bool = True
+    seed: int = 0
+    method: str = ConsensusMethod.AVERAGE.value
+    w1: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("group size must be at least 1")
+        ConsensusMethod(self.method)  # validate early, not at resolve time
+
+    def to_dict(self) -> dict:
+        return {"size": self.size, "uniform": self.uniform, "seed": self.seed,
+                "method": self.method, "w1": self.w1}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GroupSpec":
+        w1 = data.get("w1")
+        return cls(
+            size=int(data.get("size", 5)),
+            uniform=bool(data.get("uniform", True)),
+            seed=int(data.get("seed", 0)),
+            method=str(data.get("method", ConsensusMethod.AVERAGE.value)),
+            w1=float(w1) if w1 is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class BuildRequest:
+    """One package-construction request.
+
+    Exactly one of ``profile`` / ``group_spec`` must be given.
+
+    Attributes:
+        city: City name (a template name, or a city pre-registered with
+            the service's :class:`~repro.service.registry.CityRegistry`).
+        query: The Composite-Item specification.
+        profile: Explicit group profile (wire form preferred).
+        group_spec: Synthetic group to resolve server-side.
+        weights: Optional per-request Equation 1 weights.
+        k: Composite Items per package (``None`` = city default).
+        seed: FCM seed override (``None`` = city default).
+        request_id: Opaque client correlation id, echoed in the response.
+    """
+
+    city: str
+    query: GroupQuery = DEFAULT_QUERY
+    profile: GroupProfile | None = None
+    group_spec: GroupSpec | None = None
+    weights: ObjectiveWeights | None = None
+    k: int | None = None
+    seed: int | None = None
+    request_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.city:
+            raise ValueError("a build request needs a city")
+        if (self.profile is None) == (self.group_spec is None):
+            raise ValueError(
+                "a build request needs exactly one of profile / group_spec"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "city": self.city,
+            "query": self.query.to_dict(),
+            "profile": self.profile.to_dict() if self.profile else None,
+            "group_spec": self.group_spec.to_dict() if self.group_spec else None,
+            "weights": self.weights.to_dict() if self.weights else None,
+            "k": self.k,
+            "seed": self.seed,
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BuildRequest":
+        profile = data.get("profile")
+        spec = data.get("group_spec")
+        weights = data.get("weights")
+        k = data.get("k")
+        seed = data.get("seed")
+        return cls(
+            city=str(data["city"]),
+            query=(GroupQuery.from_dict(data["query"])
+                   if data.get("query") is not None else DEFAULT_QUERY),
+            profile=GroupProfile.from_dict(profile) if profile else None,
+            group_spec=GroupSpec.from_dict(spec) if spec else None,
+            weights=ObjectiveWeights.from_dict(weights) if weights else None,
+            k=int(k) if k is not None else None,
+            seed=int(seed) if seed is not None else None,
+            request_id=data.get("request_id"),
+        )
+
+
+class CustomizeOp(str, enum.Enum):
+    """Operators a :class:`CustomizeRequest` may carry.
+
+    The four atomic operators of Section 3.3 plus whole-CI deletion
+    (their iterated-REMOVE convenience form).
+    """
+
+    REMOVE = InteractionKind.REMOVE.value
+    ADD = InteractionKind.ADD.value
+    REPLACE = InteractionKind.REPLACE.value
+    GENERATE = InteractionKind.GENERATE.value
+    DELETE_CI = "delete_ci"
+
+
+@dataclass(frozen=True)
+class CustomizeRequest:
+    """One customization step against an open session.
+
+    Attributes:
+        session_id: Handle returned by ``PackageService.open_session``.
+        op: Which operator to apply.
+        ci_index: Target Composite Item (all ops except GENERATE).
+        poi_id: Target POI (REMOVE / REPLACE).
+        add_poi_id: POI to insert (ADD); looked up in the city dataset.
+        replacement_id: Explicit replacement POI (REPLACE; ``None`` =
+            system recommendation).
+        rect: Map rectangle as ``(lat, lon, width, height)`` (GENERATE).
+        actor: Acting group-member index, for individual refinement.
+        request_id: Opaque client correlation id.
+    """
+
+    session_id: str
+    op: CustomizeOp
+    ci_index: int = 0
+    poi_id: int | None = None
+    add_poi_id: int | None = None
+    replacement_id: int | None = None
+    rect: tuple[float, float, float, float] | None = None
+    actor: int | None = None
+    request_id: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "op", CustomizeOp(self.op))
+        if self.op in (CustomizeOp.REMOVE, CustomizeOp.REPLACE) and self.poi_id is None:
+            raise ValueError(f"{self.op.value} needs a poi_id")
+        if self.op is CustomizeOp.ADD and self.add_poi_id is None:
+            raise ValueError("add needs an add_poi_id")
+        if self.op is CustomizeOp.GENERATE and self.rect is None:
+            raise ValueError("generate needs a rect")
+        if self.rect is not None:
+            object.__setattr__(self, "rect", tuple(float(v) for v in self.rect))
+
+    def rectangle(self) -> Rectangle:
+        """The GENERATE rectangle as a geometry object."""
+        if self.rect is None:
+            raise ValueError("this request carries no rectangle")
+        lat, lon, width, height = self.rect
+        return Rectangle(lat=lat, lon=lon, width=width, height=height)
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "op": self.op.value,
+            "ci_index": self.ci_index,
+            "poi_id": self.poi_id,
+            "add_poi_id": self.add_poi_id,
+            "replacement_id": self.replacement_id,
+            "rect": list(self.rect) if self.rect is not None else None,
+            "actor": self.actor,
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CustomizeRequest":
+        def _opt_int(key: str) -> int | None:
+            value = data.get(key)
+            return int(value) if value is not None else None
+
+        rect = data.get("rect")
+        return cls(
+            session_id=str(data["session_id"]),
+            op=CustomizeOp(data["op"]),
+            ci_index=int(data.get("ci_index", 0)),
+            poi_id=_opt_int("poi_id"),
+            add_poi_id=_opt_int("add_poi_id"),
+            replacement_id=_opt_int("replacement_id"),
+            rect=tuple(rect) if rect is not None else None,
+            actor=_opt_int("actor"),
+            request_id=data.get("request_id"),
+        )
+
+
+@dataclass(frozen=True)
+class PackageResponse:
+    """The service's answer to a build or customize request.
+
+    Attributes:
+        city: The city served.
+        package: The (current) Travel Package; ``None`` on error.
+        cached: Whether the package came from the warm cache.
+        latency_ms: Server-side wall clock for this request.
+        metrics: Quality measures of the package (representativity,
+            within-CI distance, personalization, validity).
+        session_id: Set for responses tied to a customization session.
+        request_id: Echo of the request's correlation id.
+        error: Error message when the request could not be served.
+    """
+
+    city: str
+    package: TravelPackage | None = None
+    cached: bool = False
+    latency_ms: float = 0.0
+    metrics: dict = field(default_factory=dict)
+    session_id: str | None = None
+    request_id: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request was served successfully."""
+        return self.error is None
+
+    def to_dict(self) -> dict:
+        return {
+            "city": self.city,
+            "package": self.package.to_dict() if self.package else None,
+            "cached": self.cached,
+            "latency_ms": self.latency_ms,
+            "metrics": dict(self.metrics),
+            "session_id": self.session_id,
+            "request_id": self.request_id,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PackageResponse":
+        package = data.get("package")
+        return cls(
+            city=str(data["city"]),
+            package=TravelPackage.from_dict(package) if package else None,
+            cached=bool(data.get("cached", False)),
+            latency_ms=float(data.get("latency_ms", 0.0)),
+            metrics=dict(data.get("metrics", {})),
+            session_id=data.get("session_id"),
+            request_id=data.get("request_id"),
+            error=data.get("error"),
+        )

@@ -20,7 +20,7 @@ simulate that pipeline end to end:
 
 Tables 4-7 measure *relative* satisfaction between TP variants; a
 rating model monotone in profile/TP affinity reproduces those orderings
-without ever being fitted to the paper's numbers (see DESIGN.md).
+without ever being fitted to the paper's numbers.
 """
 
 from repro.study.customization_sim import simulate_group_interactions

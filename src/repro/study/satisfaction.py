@@ -22,7 +22,7 @@ catch.
 
 The constants below were calibrated once so plausible packages land in
 the paper's observed 2.6-3.9 band and are *frozen*: experiments never
-tune them against the target tables (see DESIGN.md).
+tune them against the target tables.
 """
 
 from __future__ import annotations

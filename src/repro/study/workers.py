@@ -119,7 +119,7 @@ class WorkerPool:
                 (sparse) tastes rather than dense preference spreads.
                 Real rater populations contain both, and the study's
                 *non-uniform* groups are only formable from
-                concentrated-taste members (see DESIGN.md).
+                concentrated-taste members.
             n_archetypes: Number of taste archetypes dense workers
                 cluster around; clustering is what makes *uniform*
                 groups formable from a recruited pool.

@@ -7,6 +7,7 @@ the contract downstream users rely on.
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -75,3 +76,31 @@ class TestKFCInvariants:
         a = app.kfc.build(profile, default_query, seed=seed)
         b = app.kfc.build(profile, default_query, seed=seed)
         assert [ci.poi_ids for ci in a] == [ci.poi_ids for ci in b]
+
+
+class TestRecenterEmptyCI:
+    """Regression: _recenter used to crash on an empty Composite Item.
+
+    Whole-CI deletion in a customization session leaves an empty CI
+    (explicit centroid, no POIs); np.array([]) is 1-D, so the projection
+    raised IndexError on ``[:, 1]``.
+    """
+
+    def test_recenter_survives_empty_ci(self, app, uniform_group,
+                                        default_query):
+        from repro.core.composite import CompositeItem
+
+        profile = uniform_group.profile()
+        package = app.kfc.build(profile, default_query)
+        centroids = package.centroids()
+        cis = list(package.composite_items)
+        cis[0] = CompositeItem([], centroid=cis[0].centroid)
+
+        moved = app.kfc._recenter(centroids, cis, app.kfc.weights)
+
+        assert moved.shape == centroids.shape
+        assert np.isfinite(moved).all()
+        # The empty CI's centroid still moves with its fuzzy members
+        # (alpha pull); the non-empty CIs keep their beta pull too.
+        for j, ci in enumerate(cis):
+            assert np.isfinite(moved[j]).all()

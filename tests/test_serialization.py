@@ -1,0 +1,168 @@
+"""Wire-format round trips: ``to_dict`` -> ``from_dict`` identity.
+
+Every object the service sends across a process boundary must survive
+``json.dumps``/``json.loads`` unchanged -- not merely ``to_dict`` and
+back, because JSON is the actual wire.  Each round trip here goes
+through a JSON string.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.composite import CompositeItem
+from repro.core.customize import Interaction, InteractionKind
+from repro.core.objective import ObjectiveWeights
+from repro.core.package import TravelPackage
+from repro.core.query import GroupQuery
+from repro.data.poi import CATEGORIES, POI, Category
+from repro.profiles.group import GroupProfile
+from repro.profiles.schema import ProfileSchema
+from repro.profiles.user import UserProfile
+
+
+def make_poi(poi_id: int = 0, cat: Category | str = Category.RESTAURANT,
+             lat: float = 48.85, lon: float = 2.35) -> POI:
+    return POI(id=poi_id, name=f"poi-{poi_id}", cat=Category.parse(cat),
+               lat=lat, lon=lon, type="french", tags=("french", "wine"),
+               cost=1.0)
+
+
+def roundtrip(obj):
+    """``from_dict(json.loads(json.dumps(to_dict())))`` for ``obj``."""
+    return type(obj).from_dict(json.loads(json.dumps(obj.to_dict())))
+
+
+def assert_profiles_equal(a, b):
+    assert a.schema == b.schema
+    for cat in CATEGORIES:
+        assert np.array_equal(a.vector(cat), b.vector(cat))
+
+
+class TestQueryRoundTrip:
+    def test_finite_budget(self):
+        query = GroupQuery.of(acco=1, trans=2, rest=1, attr=3, budget=42.5)
+        back = roundtrip(query)
+        assert back == query
+        assert back.budget == 42.5
+
+    def test_infinite_budget_encodes_as_null(self):
+        query = GroupQuery.of(attr=2)
+        payload = query.to_dict()
+        assert payload["budget"] is None
+        back = roundtrip(query)
+        assert back == query
+        assert math.isinf(back.budget)
+
+
+class TestCompositeItemRoundTrip:
+    def test_pois_and_centroid_survive(self):
+        ci = CompositeItem(
+            [make_poi(1, "acco"), make_poi(2, "rest", lat=48.9, lon=2.3)],
+            centroid=(48.87, 2.32),
+        )
+        back = roundtrip(ci)
+        assert back.poi_ids == ci.poi_ids
+        assert back.centroid == ci.centroid
+        assert [p.to_dict() for p in back.pois] == [p.to_dict() for p in ci.pois]
+
+    def test_empty_ci_with_explicit_centroid(self):
+        ci = CompositeItem([], centroid=(48.85, 2.35))
+        back = roundtrip(ci)
+        assert len(back) == 0
+        assert back.centroid == ci.centroid
+
+
+class TestPackageRoundTrip:
+    @given(seed=st.integers(0, 3))
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_built_package_identity(self, app, uniform_group,
+                                    default_query, seed):
+        package = app.kfc.build(uniform_group.profile(), default_query,
+                                seed=seed)
+        back = roundtrip(package)
+        assert back.k == package.k
+        assert back.query == package.query
+        for original, restored in zip(package, back):
+            assert restored.poi_ids == original.poi_ids
+            assert restored.centroid == original.centroid
+        assert back.is_valid()
+
+    def test_package_without_query(self):
+        package = TravelPackage([CompositeItem([make_poi(5)])])
+        back = roundtrip(package)
+        assert back.query is None
+        assert back[0].poi_ids == {5}
+
+
+class TestProfileRoundTrips:
+    def test_schema_identity(self, schema):
+        assert roundtrip(schema) == schema
+
+    def test_user_profile_identity(self, generator):
+        profile = generator.random_user()
+        assert_profiles_equal(roundtrip(profile), profile)
+
+    def test_sparse_user_profile_identity(self, generator):
+        profile = generator.sparse_user(dims_per_category=2)
+        assert_profiles_equal(roundtrip(profile), profile)
+
+    def test_group_profile_identity(self, uniform_group):
+        profile = uniform_group.profile()
+        assert_profiles_equal(roundtrip(profile), profile)
+
+    def test_group_profile_scores_above_one_survive(self, schema):
+        # Group profiles may leave the simplex (e.g. 1 - d_j consensus);
+        # serialization must not clip.
+        vectors = {cat: np.full(schema.size(cat), 1.4) for cat in CATEGORIES}
+        profile = GroupProfile(schema, vectors)
+        assert_profiles_equal(roundtrip(profile), profile)
+
+    def test_from_dict_with_schema_override(self, schema, uniform_group):
+        profile = uniform_group.profile()
+        back = GroupProfile.from_dict(profile.to_dict(), schema=schema)
+        assert back.schema is schema
+
+    def test_user_profile_rejects_mismatched_schema(self, generator):
+        profile = generator.random_user()
+        wrong = ProfileSchema.with_topic_counts(3, 3)
+        with pytest.raises(ValueError):
+            UserProfile.from_dict(profile.to_dict(), schema=wrong)
+
+
+class TestInteractionRoundTrip:
+    @pytest.mark.parametrize("kind", list(InteractionKind))
+    def test_identity_per_kind(self, kind):
+        interaction = Interaction(
+            kind=kind,
+            added=(make_poi(10, "attr"),),
+            removed=(make_poi(11, "rest"), make_poi(12, "rest", lat=48.8)),
+            ci_index=3,
+            actor=2,
+        )
+        back = roundtrip(interaction)
+        assert back == interaction
+
+    def test_defaults_and_missing_actor(self):
+        interaction = Interaction(kind=InteractionKind.REMOVE,
+                                  removed=(make_poi(1),))
+        back = roundtrip(interaction)
+        assert back == interaction
+        assert back.actor is None
+
+
+class TestWeightsRoundTrip:
+    def test_identity(self):
+        weights = ObjectiveWeights(alpha=0.5, beta=2.0, gamma=3.5,
+                                   fuzzifier=1.8)
+        assert roundtrip(weights) == weights
+
+    def test_missing_fields_fall_back_to_defaults(self):
+        assert ObjectiveWeights.from_dict({"gamma": 9.0}) == ObjectiveWeights(
+            gamma=9.0
+        )
