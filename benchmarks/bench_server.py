@@ -1,0 +1,147 @@
+"""Serving-tier benchmarks: shard scaling and saturation behavior.
+
+Two acceptance gates for the sharded tier, run over **real process
+workers** (fork + pickle + IPC, exactly the deployment shape):
+
+* ``test_two_shards_outscale_one`` -- a cold-build-heavy cycling
+  workload (two cities, working set larger than one worker's package
+  cache) must run >= 1.5x faster on a 2-shard cluster than on a
+  1-shard cluster **with identical per-shard resources**.  Scale-out
+  adds both CPU and cache memory: each shard owns only its city's
+  working set, so what cycles through a single worker's LRU as an
+  endless cold-build storm becomes warm hits on the owning shard --
+  and on multi-core hosts the two workers additionally overlap their
+  remaining cold builds.
+* ``test_saturating_load_is_bounded_and_hang_free`` -- a deliberately
+  oversubscribed loadgen run against the NDJSON front-end must finish
+  within a deadline (zero hung connections), keep in-flight requests
+  at or under ``max_inflight`` the whole time, and answer every
+  request either successfully or with a structured ``overloaded``
+  shed -- never an unclassified error, never silence.
+
+Not pytest-benchmark microbenches: both are wall-clock comparisons
+with hard asserts, so a routing or admission-control regression fails
+the suite instead of silently skewing numbers.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.service import (
+    LoadgenConfig,
+    PackageServer,
+    ShardCluster,
+    ShardConfig,
+    build_workload,
+)
+from repro.service.loadgen import run_tcp
+
+#: Identical per-shard resources in every cluster under test; the only
+#: experimental variable is the shard count.
+SHARD_CONFIG = ShardConfig(scale=0.3, lda_iterations=30, seed=2019,
+                           cache_capacity=16)
+CITIES = ("paris", "barcelona")
+
+#: 12 distinct groups per city x 2 cities = 24 distinct build keys --
+#: deliberately larger than one shard's 16-entry cache (cycling evicts
+#: everything: pure cold builds) and smaller than two shards' aggregate
+#: (12 keys per shard: warm after the first pass).
+GROUPS_PER_CITY = 12
+PASSES = 3
+
+
+def cycling_workload() -> list[dict]:
+    """The cold-build-heavy request stream, pass by pass."""
+    payloads = []
+    for _ in range(PASSES):
+        for spec_seed in range(GROUPS_PER_CITY):
+            for city in CITIES:
+                payloads.append({
+                    "city": city,
+                    "group_spec": {"size": 5, "seed": spec_seed},
+                })
+    return payloads
+
+
+def timed_run(shards: int) -> tuple[float, dict]:
+    """Wall-clock seconds to serve the cycling workload on a fresh
+    ``shards``-worker cluster (warmup excluded), plus final stats."""
+    with ShardCluster(shards=shards, config=SHARD_CONFIG,
+                      cities=list(CITIES)) as cluster:
+        cluster.warm(CITIES)  # LDA/FCM fits excluded from the timing
+        started = time.perf_counter()
+        futures = [cluster.submit("build", payload)
+                   for payload in cycling_workload()]
+        responses = [f.result() for f in futures]
+        elapsed = time.perf_counter() - started
+        assert all(r["error"] is None for r in responses)
+        return elapsed, cluster.stats()
+
+
+def test_two_shards_outscale_one():
+    """Acceptance gate: 2-shard throughput >= 1.5x single-shard."""
+    single_s, single_stats = timed_run(shards=1)
+    sharded_s, sharded_stats = timed_run(shards=2)
+
+    requests = len(cycling_workload())
+    speedup = single_s / sharded_s
+    print(f"\n{requests} cold-build-heavy requests: "
+          f"1 shard {single_s:.2f}s ({requests / single_s:.0f} req/s, "
+          f"{single_stats['cache']['hits']} cache hits), "
+          f"2 shards {sharded_s:.2f}s ({requests / sharded_s:.0f} req/s, "
+          f"{sharded_stats['cache']['hits']} cache hits) "
+          f"-> {speedup:.2f}x")
+
+    # The mechanism, not just the outcome: the single worker's cache
+    # cycles (nearly all misses), the sharded workers' caches hold.
+    assert single_stats["cache"]["hits"] == 0
+    assert (sharded_stats["cache"]["hits"]
+            == requests - GROUPS_PER_CITY * len(CITIES))
+    assert speedup >= 1.5
+
+
+def test_saturating_load_is_bounded_and_hang_free():
+    """Acceptance gate: saturation degrades into bounded in-flight work
+    and structured sheds; every connection completes."""
+    max_inflight = 4
+    connections = 8
+    config = LoadgenConfig(cities=CITIES, actions=60, seed=5,
+                           mix=(("cold", 0.7), ("warm", 0.3)))
+    workload = build_workload(config)
+
+    async def scenario():
+        with ShardCluster(shards=2, config=SHARD_CONFIG,
+                          cities=list(CITIES)) as cluster:
+            cluster.warm(CITIES)
+            server = PackageServer(cluster, max_inflight=max_inflight)
+            host, port = await server.start(port=0)
+            try:
+                # The deadline IS the hang detector: every connection
+                # must finish its slice and close.
+                report = await asyncio.wait_for(
+                    run_tcp(host, port, workload, connections=connections),
+                    timeout=120,
+                )
+            finally:
+                await server.drain(timeout=5)
+            return report, server.stats()
+
+    report, front = asyncio.run(scenario())
+
+    print(f"\nsaturation: {report.sent} actions over {connections} "
+          f"connections (limit {max_inflight} in flight): {report.ok} ok, "
+          f"{report.shed} shed, {report.errors} errors; "
+          f"peak in-flight {front['peak_inflight']}")
+
+    assert report.sent == len(workload)          # every action answered
+    assert report.errors == 0                    # sheds only, no failures
+    assert report.ok > 0
+    assert 0 < front["peak_inflight"] <= max_inflight
+    assert front["connections_open"] == 0        # nothing left hanging
+    assert front["accepted"] + front["shed"] == report.sent
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-s", "-q"]))

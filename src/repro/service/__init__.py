@@ -14,21 +14,32 @@ entry points.
     >>> response = service.build(BuildRequest(                 # doctest: +SKIP
     ...     city="paris", group_spec=GroupSpec(size=5, seed=3)))
 
-``python -m repro.service`` runs a JSON-lines demo over two cities; see
-:mod:`repro.service.__main__`.
+On top of the single-process engine sits the **serving tier**: a
+city-affine process-pool shard layer (:mod:`repro.service.shard`), an
+asyncio NDJSON front-end with admission control and graceful drain
+(:mod:`repro.service.server`) and a deterministic workload generator
+(:mod:`repro.service.loadgen`).
+
+``python -m repro.service`` runs a JSON-lines demo over two cities;
+``python -m repro.service serve`` / ``loadgen`` run the network tier --
+see :mod:`repro.service.__main__`.
 """
 
 from repro.service.cache import PackageCache, cache_key, profile_fingerprint
 from repro.service.engine import PackageService, UnknownSessionError
-from repro.service.metrics import ServiceMetrics
+from repro.service.loadgen import LoadgenConfig, LoadgenReport, build_workload
+from repro.service.metrics import ServiceMetrics, merge_snapshots
 from repro.service.registry import CityEntry, CityRegistry
 from repro.service.schema import (
     BuildRequest,
     CustomizeOp,
     CustomizeRequest,
+    ErrorCode,
     GroupSpec,
     PackageResponse,
 )
+from repro.service.server import PackageServer
+from repro.service.shard import ShardCluster, ShardConfig
 
 __all__ = [
     "BuildRequest",
@@ -36,12 +47,20 @@ __all__ = [
     "CityRegistry",
     "CustomizeOp",
     "CustomizeRequest",
+    "ErrorCode",
     "GroupSpec",
+    "LoadgenConfig",
+    "LoadgenReport",
     "PackageCache",
     "PackageResponse",
+    "PackageServer",
     "PackageService",
     "ServiceMetrics",
+    "ShardCluster",
+    "ShardConfig",
     "UnknownSessionError",
+    "build_workload",
     "cache_key",
+    "merge_snapshots",
     "profile_fingerprint",
 ]

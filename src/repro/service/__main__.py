@@ -1,17 +1,25 @@
-"""JSON-lines driver: ``python -m repro.service``.
+"""Service CLI: ``python -m repro.service [serve|loadgen] ...``.
 
-Reads one JSON build request per line (the
-:class:`~repro.service.schema.BuildRequest` wire format) and writes one
-JSON :class:`~repro.service.schema.PackageResponse` per line to stdout;
-a final summary with cache and latency counters goes to stderr.
+Three entry points share the binary:
 
-Without ``--input`` it runs a built-in demo: spec-based build requests
-against two cities, including exact repeats, so the output shows both
-cold builds and warm-cache hits end to end::
+* ``python -m repro.service serve`` -- the sharded asyncio NDJSON
+  server (TCP or ``--stdin``); see :mod:`repro.service.server`.
+* ``python -m repro.service loadgen`` -- the deterministic workload
+  generator driving a running server; see :mod:`repro.service.loadgen`.
+* ``python -m repro.service`` (no subcommand) -- the original
+  JSON-lines driver: one :class:`~repro.service.schema.BuildRequest`
+  dict per input line, one :class:`~repro.service.schema.PackageResponse`
+  per output line, and a cache/latency summary on stderr.
+
+Without ``--input`` the json-lines driver runs a built-in demo:
+spec-based build requests against two cities, including exact repeats,
+so the output shows both cold builds and warm-cache hits end to end::
 
     python -m repro.service
     python -m repro.service --cities paris,barcelona,rome --scale 0.5
     python -m repro.service --input requests.jsonl
+    python -m repro.service serve --shards 2 --port 8642
+    python -m repro.service loadgen --port 8642 --actions 80 --check
 
 Demo traffic uses ``group_spec`` requests -- pure JSON a client can
 write without knowing the LDA topic labels the server's item index
@@ -93,9 +101,22 @@ def serve_lines(service: PackageService, lines: Iterable[str],
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        from repro.service.server import serve_main
+        return serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        from repro.service.loadgen import loadgen_main
+        return loadgen_main(argv[1:])
+    return _jsonlines_main(argv)
+
+
+def _jsonlines_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
-        description="Serve GroupTravel package-build requests from JSON lines.",
+        description="Serve GroupTravel package-build requests from JSON "
+                    "lines ('serve' and 'loadgen' subcommands run the "
+                    "sharded TCP tier and its workload driver).",
     )
     parser.add_argument("--cities", default="paris,barcelona",
                         help="comma-separated demo cities (default: "

@@ -39,11 +39,17 @@ from repro.service.schema import (
     BuildRequest,
     CustomizeOp,
     CustomizeRequest,
+    ErrorCode,
     PackageResponse,
 )
 
 #: Default worker threads for the batch path.
 _DEFAULT_BATCH_WORKERS = 8
+
+#: Bound on requests per ``batch`` wire envelope.  Admission control
+#: counts an envelope as one in-flight unit, so the envelope itself
+#: must not be a loophole for queueing unbounded work.
+MAX_BATCH_REQUESTS = 64
 
 
 class UnknownSessionError(KeyError):
@@ -74,17 +80,28 @@ class PackageService:
             synthetic cities) is created when omitted.
         cache_capacity: LRU capacity of the package cache.
         max_workers: Thread-pool width for :meth:`build_batch`.
+        max_sessions: Bound on concurrently open customization
+            sessions.  Sessions are client-controlled server state, so
+            a long-running service must cap them; beyond the bound
+            :meth:`open_session` sheds with an ``overloaded`` error
+            response rather than silently evicting a live session.
     """
 
     def __init__(self, registry: CityRegistry | None = None,
                  cache_capacity: int = 256,
-                 max_workers: int = _DEFAULT_BATCH_WORKERS) -> None:
+                 max_workers: int = _DEFAULT_BATCH_WORKERS,
+                 max_sessions: int = 1024) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        self.max_sessions = max_sessions
         self.registry = registry or CityRegistry()
         self.cache = PackageCache(cache_capacity)
         self.metrics = ServiceMetrics()
         self.max_workers = max_workers
+        self._batch_pool: ThreadPoolExecutor | None = None
+        self._batch_pool_lock = Lock()
         self._sessions: dict[str, _Session] = {}
         self._sessions_lock = Lock()
         self._session_ids = itertools.count(1)
@@ -128,6 +145,12 @@ class PackageService:
         The cache stores the package *and* its quality metrics, so a
         warm hit repeats none of the build-time numpy work.
         """
+        return self._serve_build(request)[0]
+
+    def _serve_build(self, request: BuildRequest) -> tuple[
+            PackageResponse, CityEntry | None, GroupProfile | None]:
+        """The build path, also handing back the resolved (entry,
+        profile) so :meth:`open_session` does not resolve twice."""
         start = time.perf_counter()
         try:
             entry = self.registry.entry(request.city)
@@ -147,15 +170,28 @@ class PackageService:
             else:
                 package, package_metrics = hit
         except (KeyError, ValueError, RuntimeError) as exc:
-            return self._error_response(request.city, exc, start,
-                                        request_id=request.request_id)
+            return (self._error_response(request.city, exc, start,
+                                         request_id=request.request_id),
+                    None, None)
         latency = time.perf_counter() - start
         self.metrics.record("build_cached" if cached else "build", latency)
-        return PackageResponse(
+        return (PackageResponse(
             city=entry.name, package=package, cached=cached,
             latency_ms=latency * 1000.0, metrics=package_metrics,
             request_id=request.request_id,
-        )
+        ), entry, profile)
+
+    def _batch_executor(self) -> ThreadPoolExecutor:
+        """The persistent batch pool, created on first use.  Batches
+        are the per-request hot path of every shard worker, so thread
+        spawn/join must not be paid per call."""
+        with self._batch_pool_lock:
+            if self._batch_pool is None:
+                self._batch_pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="batch",
+                )
+            return self._batch_pool
 
     def build_batch(self, requests: list[BuildRequest]) -> list[PackageResponse]:
         """Serve independent requests concurrently, preserving order.
@@ -167,10 +203,29 @@ class PackageService:
         if len(requests) <= 1:
             responses = [self.build(r) for r in requests]
         else:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                responses = list(pool.map(self.build, requests))
+            responses = list(self._batch_executor().map(self.build, requests))
         self.metrics.record("build_batch", time.perf_counter() - start)
         return responses
+
+    def close(self) -> None:
+        """Release the batch pool (idle threads otherwise linger until
+        interpreter exit).  The service stays usable; the pool would
+        simply be recreated on the next batch."""
+        with self._batch_pool_lock:
+            pool, self._batch_pool = self._batch_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    @staticmethod
+    def _classify(exc: Exception) -> str:
+        """The :class:`ErrorCode` a failure maps to on the wire."""
+        if isinstance(exc, UnknownSessionError):
+            return ErrorCode.UNKNOWN_SESSION.value
+        if isinstance(exc, KeyError):
+            return ErrorCode.NOT_FOUND.value
+        if isinstance(exc, (ValueError, StopIteration, IndexError, TypeError)):
+            return ErrorCode.INVALID.value
+        return ErrorCode.FAILED.value
 
     def _error_response(self, city: str, exc: Exception, start: float,
                         request_id: str | None = None,
@@ -179,19 +234,32 @@ class PackageService:
         self.metrics.record("error", latency)
         message = str(exc) or exc.__class__.__name__
         return PackageResponse(city=city, error=message,
+                               code=self._classify(exc),
                                latency_ms=latency * 1000.0,
                                request_id=request_id, session_id=session_id)
 
     # -- customization sessions ---------------------------------------------
 
+    def _sessions_full_response(self, request: BuildRequest) -> PackageResponse:
+        return PackageResponse(
+            city=request.city,
+            error=f"session table full ({self.max_sessions} open); "
+                  "close a session or retry later",
+            code=ErrorCode.OVERLOADED.value,
+            request_id=request.request_id,
+        )
+
     def open_session(self, request: BuildRequest) -> PackageResponse:
         """Build a package (through the cache) and open a customization
         session on it.  The response carries the new ``session_id``."""
-        response = self.build(request)
+        # Cheap unlocked pre-check so a session flood against a full
+        # table sheds before paying the build; re-validated under the
+        # lock below.
+        if self.open_sessions >= self.max_sessions:
+            return self._sessions_full_response(request)
+        response, entry, profile = self._serve_build(request)
         if not response.ok:
             return response
-        entry = self.registry.entry(request.city)
-        profile = self._resolve_profile(entry, request)
         weights = request.weights or entry.builder.weights
         editor = CustomizationSession(
             package=response.package, dataset=entry.dataset, profile=profile,
@@ -200,6 +268,8 @@ class PackageService:
         )
         session_id = f"s{next(self._session_ids)}"
         with self._sessions_lock:
+            if len(self._sessions) >= self.max_sessions:
+                return self._sessions_full_response(request)
             self._sessions[session_id] = _Session(
                 id=session_id, entry=entry, editor=editor, profile=profile,
                 origin=request,
@@ -337,6 +407,100 @@ class PackageService:
         """Number of currently open customization sessions."""
         with self._sessions_lock:
             return len(self._sessions)
+
+    # -- wire dispatch -------------------------------------------------------
+
+    #: Operations :meth:`dispatch` understands, mapped to handlers by name.
+    DISPATCH_OPS = ("ping", "build", "batch", "open_session", "customize",
+                    "close_session", "warmup", "stats")
+
+    def dispatch(self, op: str, payload: dict) -> dict:
+        """Serve one wire-format operation: plain dicts in, plain dicts
+        out.
+
+        This is the process-boundary entry point: the shard workers and
+        the NDJSON server both funnel every request through it, so
+        nothing but picklable/JSON-able dicts ever crosses an executor.
+        Malformed payloads come back as ``bad_request`` error dicts, not
+        exceptions -- a worker process must survive any input.
+        """
+        try:
+            if op == "ping":
+                return {"ok": True}
+            if op == "build":
+                return self.build(BuildRequest.from_dict(payload)).to_dict()
+            if op == "batch":
+                if len(payload["requests"]) > MAX_BATCH_REQUESTS:
+                    return PackageResponse(
+                        city="",
+                        error=f"batch of {len(payload['requests'])} exceeds "
+                              f"the {MAX_BATCH_REQUESTS}-request limit",
+                        code=ErrorCode.BAD_REQUEST.value,
+                    ).to_dict()
+                slots: list[dict | None] = [None] * len(payload["requests"])
+                parsed: list[tuple[int, BuildRequest]] = []
+                for index, raw in enumerate(payload["requests"]):
+                    try:
+                        parsed.append((index, BuildRequest.from_dict(raw)))
+                    except (KeyError, TypeError, ValueError,
+                            AttributeError) as exc:
+                        # One malformed element errors its own slot; it
+                        # must not take the rest of the batch with it.
+                        slots[index] = PackageResponse(
+                            city="", error=f"bad batch element: {exc}",
+                            code=ErrorCode.BAD_REQUEST.value,
+                            request_id=(raw.get("request_id")
+                                        if isinstance(raw, dict) else None),
+                        ).to_dict()
+                served = self.build_batch([request for _, request in parsed])
+                for (index, _), response in zip(parsed, served):
+                    slots[index] = response.to_dict()
+                return {"responses": slots}
+            if op == "open_session":
+                return self.open_session(
+                    BuildRequest.from_dict(payload)
+                ).to_dict()
+            if op == "customize":
+                return self.apply(CustomizeRequest.from_dict(payload)).to_dict()
+            if op == "close_session":
+                session_id = str(payload["session_id"])
+                try:
+                    log = self.close_session(session_id)
+                except UnknownSessionError as exc:
+                    return PackageResponse(
+                        city="", error=str(exc), code=self._classify(exc),
+                        session_id=session_id,
+                        request_id=payload.get("request_id"),
+                    ).to_dict()
+                return {"session_id": session_id,
+                        "interactions": [i.to_dict() for i in log],
+                        "request_id": payload.get("request_id")}
+            if op == "warmup":
+                failed: dict[str, str] = {}
+                for city in [str(c) for c in payload.get("cities", ())]:
+                    try:
+                        self.registry.entry(city)
+                    except Exception as exc:
+                        # One bad name must neither abort the remaining
+                        # cities nor hide: report it alongside the wins.
+                        failed[city] = str(exc) or exc.__class__.__name__
+                result: dict = {"cities": sorted(self.registry.loaded())}
+                if failed:
+                    result["failed"] = failed
+                return result
+            if op == "stats":
+                return self.stats()
+            return PackageResponse(
+                city="", error=f"unknown operation {op!r}",
+                code=ErrorCode.BAD_REQUEST.value,
+            ).to_dict()
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            return PackageResponse(
+                city="", error=f"bad {op} payload: {exc}",
+                code=ErrorCode.BAD_REQUEST.value,
+                request_id=(payload.get("request_id")
+                            if isinstance(payload, dict) else None),
+            ).to_dict()
 
     # -- observability -------------------------------------------------------
 

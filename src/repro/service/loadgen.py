@@ -1,0 +1,431 @@
+"""Deterministic workload generation: ``python -m repro.service loadgen``.
+
+A workload is a seeded, reproducible sequence of **actions** against
+the serving tier, drawn from four traffic kinds:
+
+* ``cold``  -- a build request with a never-repeated group spec (a
+  cache miss wherever it lands);
+* ``warm``  -- a build request drawn from a small fixed pool of specs,
+  so repeats hit the owning shard's package cache;
+* ``batch`` -- one ``batch`` envelope of several independent builds;
+* ``session`` -- open a customization session, apply a few REMOVE
+  edits (targets are resolved from the opened package at run time --
+  the generator cannot know POI ids up front), then close it.
+
+``build_workload(config)`` is pure and deterministic: same config,
+same action list, same JSON payloads -- byte for byte.  Runners exist
+for both transports: :func:`run_sync` drives any ``dispatch(op,
+payload) -> dict`` callable (benchmarks use it against a
+:class:`~repro.service.shard.ShardCluster` directly) and
+:func:`run_tcp` speaks the NDJSON envelope protocol against a live
+server over ``connections`` concurrent TCP clients, splitting the
+action list round-robin so the split is deterministic too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+from repro.service.server import DEFAULT_PORT
+
+#: Traffic-mix default: mostly builds, a quarter warm repeats.
+DEFAULT_MIX = (("cold", 0.45), ("warm", 0.25), ("batch", 0.15),
+               ("session", 0.15))
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Knobs of a deterministic workload.
+
+    Attributes:
+        cities: Cities traffic is spread over (round-robin).
+        actions: Number of actions (a batch or session counts as one).
+        seed: Master seed; same (config) -> same workload.
+        mix: ``(kind, weight)`` pairs; weights need not sum to 1.
+        batch_size: Builds per ``batch`` action.
+        warm_pool: Distinct specs the ``warm`` kind cycles over.
+        session_edits: REMOVE edits applied per session.
+        group_size: Members per synthetic group.
+        passes: Repetitions of the whole action list (cache studies).
+    """
+
+    cities: tuple[str, ...] = ("paris", "barcelona")
+    actions: int = 50
+    seed: int = 0
+    mix: tuple[tuple[str, float], ...] = DEFAULT_MIX
+    batch_size: int = 4
+    warm_pool: int = 4
+    session_edits: int = 2
+    group_size: int = 5
+    passes: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.cities:
+            raise ValueError("a workload needs at least one city")
+        if self.actions < 1:
+            raise ValueError("a workload needs at least one action")
+        kinds = {kind for kind, _ in self.mix}
+        unknown = kinds - {"cold", "warm", "batch", "session"}
+        if unknown:
+            raise ValueError(f"unknown traffic kinds: {sorted(unknown)}")
+        if any(weight < 0 for _, weight in self.mix):
+            raise ValueError("mix weights must be non-negative")
+        if sum(weight for _, weight in self.mix) <= 0:
+            raise ValueError("mix weights must not all be zero")
+
+
+@dataclass(frozen=True)
+class Action:
+    """One workload step: a ready-to-send envelope, or a session
+    script whose edit targets are resolved at run time."""
+
+    kind: str
+    envelope: dict | None = None    # cold / warm / batch
+    open_envelope: dict | None = None   # session
+    edits: int = 0                      # session
+
+
+def _build_payload(city: str, spec_seed: int, group_size: int,
+                   request_id: str) -> dict:
+    return {
+        "city": city,
+        "query": {"counts": {"acco": 1, "trans": 1, "rest": 1, "attr": 3},
+                  "budget": None},
+        "group_spec": {"size": group_size, "uniform": spec_seed % 2 == 0,
+                       "seed": spec_seed},
+        "request_id": request_id,
+    }
+
+
+def build_workload(config: LoadgenConfig) -> list[Action]:
+    """The deterministic action list for ``config``."""
+    rng = random.Random(config.seed)
+    kinds = [kind for kind, _ in config.mix]
+    weights = [weight for _, weight in config.mix]
+    cold_seed = 10_000 + config.seed  # disjoint from the warm pool below
+    actions: list[Action] = []
+    for index in range(config.actions):
+        kind = rng.choices(kinds, weights)[0]
+        city = config.cities[index % len(config.cities)]
+        rid = f"lg-{config.seed}-{index}"
+        if kind == "cold":
+            actions.append(Action(kind, envelope={
+                "op": "build",
+                "request": _build_payload(city, cold_seed,
+                                          config.group_size, rid),
+            }))
+            cold_seed += 1
+        elif kind == "warm":
+            spec = rng.randrange(config.warm_pool)
+            actions.append(Action(kind, envelope={
+                "op": "build",
+                "request": _build_payload(city, spec,
+                                          config.group_size, rid),
+            }))
+        elif kind == "batch":
+            requests = []
+            for sub in range(config.batch_size):
+                sub_city = config.cities[(index + sub) % len(config.cities)]
+                spec = rng.randrange(config.warm_pool)
+                requests.append(_build_payload(sub_city, spec,
+                                               config.group_size,
+                                               f"{rid}.{sub}"))
+            actions.append(Action(kind, envelope={
+                "op": "batch", "request": {"requests": requests},
+            }))
+        else:  # session
+            spec = rng.randrange(config.warm_pool)
+            actions.append(Action(kind, open_envelope={
+                "op": "open_session",
+                "request": _build_payload(city, spec,
+                                          config.group_size, rid),
+            }, edits=config.session_edits))
+    return actions * config.passes
+
+
+# -- reports ------------------------------------------------------------------
+
+@dataclass
+class LoadgenReport:
+    """What a run observed, aggregated across connections."""
+
+    sent: int = 0
+    ok: int = 0
+    errors: int = 0
+    shed: int = 0
+    cached: int = 0
+    failed_connections: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    error_codes: Counter = field(default_factory=Counter)
+    error_samples: list = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Responses per second of wall clock."""
+        return self.sent / self.wall_s if self.wall_s > 0 else 0.0
+
+    def observe(self, kind: str, response: dict) -> None:
+        self.sent += 1
+        self.by_kind[kind] += 1
+        for unit in ([response] if "responses" not in response
+                     else response["responses"]):
+            error = unit.get("error")
+            if error is None:
+                self.ok += 1
+                if unit.get("cached"):
+                    self.cached += 1
+            else:
+                code = unit.get("code") or "unclassified"
+                self.error_codes[code] += 1
+                if code == "overloaded":
+                    self.shed += 1
+                else:
+                    self.errors += 1
+                if len(self.error_samples) < 5:
+                    self.error_samples.append(error)
+
+    def merge(self, other: "LoadgenReport") -> None:
+        self.sent += other.sent
+        self.ok += other.ok
+        self.errors += other.errors
+        self.shed += other.shed
+        self.cached += other.cached
+        self.failed_connections += other.failed_connections
+        self.by_kind += other.by_kind
+        self.error_codes += other.error_codes
+        self.error_samples = (self.error_samples
+                              + other.error_samples)[:5]
+
+    def summary(self) -> str:
+        kinds = ", ".join(f"{kind}={count}"
+                          for kind, count in sorted(self.by_kind.items()))
+        line = (f"{self.sent} actions ({kinds}); {self.ok} ok responses "
+                f"({self.cached} cached), {self.errors} errors, "
+                f"{self.shed} shed; {self.wall_s:.2f}s wall "
+                f"({self.throughput:.1f} actions/s)")
+        if self.failed_connections:
+            line += f"; {self.failed_connections} connection(s) failed"
+        if self.error_samples:
+            line += f"; first errors: {self.error_samples}"
+        return line
+
+
+# -- execution ----------------------------------------------------------------
+
+def _session_edit_envelopes(open_response: dict, edits: int) -> list[dict]:
+    """Concrete REMOVE envelopes against an opened session (resolved
+    from the package the server returned)."""
+    session_id = open_response.get("session_id")
+    package = open_response.get("package")
+    if session_id is None or not package:
+        return []
+    envelopes = []
+    for edit in range(edits):
+        cis = package["composite_items"]
+        ci_index = edit % len(cis)
+        pois = cis[ci_index]["pois"]
+        if len(pois) <= 1:
+            continue  # keep CIs non-empty so later edits stay valid
+        victim = pois[-1 - (edit // len(cis)) % len(pois)]
+        envelopes.append({
+            "op": "customize",
+            "request": {"session_id": session_id, "op": "remove",
+                        "ci_index": ci_index, "poi_id": victim["id"],
+                        "actor": edit % 2},
+        })
+    return envelopes
+
+
+#: An async transport: one envelope in, one response dict out.  Both
+#: runners reduce to this, so the session state machine exists once.
+Send = Callable[[dict], Awaitable[dict]]
+
+
+async def _run_action(send: Send, action: Action,
+                      report: LoadgenReport) -> None:
+    if action.envelope is not None:
+        report.observe(action.kind, await send(action.envelope))
+        return
+    opened = await send(action.open_envelope)
+    report.observe(action.kind, opened)
+    current = opened
+    for envelope in _session_edit_envelopes(opened, action.edits):
+        response = await send(envelope)
+        report.observe("session_edit", response)
+        if response.get("error") is not None:
+            break
+        current = response
+    session_id = current.get("session_id")
+    if session_id is not None:
+        report.observe("session_close", await send({
+            "op": "close_session", "request": {"session_id": session_id},
+        }))
+
+
+def run_sync(dispatch: Callable[[str, dict], dict],
+             workload: list[Action]) -> LoadgenReport:
+    """Drive a dispatch callable (e.g. ``ShardCluster.dispatch``)
+    through the workload, one action at a time."""
+    report = LoadgenReport()
+
+    async def send(envelope: dict) -> dict:
+        return dispatch(envelope.get("op", "build"),
+                        envelope.get("request", {}))
+
+    async def main() -> None:
+        for action in workload:
+            await _run_action(send, action, report)
+
+    started = time.perf_counter()
+    asyncio.run(main())
+    report.wall_s = time.perf_counter() - started
+    return report
+
+
+async def _connect(host: str, port: int, timeout: float):
+    """Open one client connection, retrying while the server boots."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return await asyncio.open_connection(host, port)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            await asyncio.sleep(0.1)
+
+
+async def _run_connection(host: str, port: int, actions: list[Action],
+                          connect_timeout: float) -> LoadgenReport:
+    reader, writer = await _connect(host, port, connect_timeout)
+    report = LoadgenReport()
+
+    async def send(envelope: dict) -> dict:
+        writer.write(json.dumps(envelope).encode("utf-8") + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    # Actions are sequential per connection; concurrency comes from
+    # running many connections.
+    try:
+        for action in actions:
+            await _run_action(send, action, report)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    return report
+
+
+async def run_tcp(host: str, port: int, workload: list[Action],
+                  connections: int = 2,
+                  connect_timeout: float = 30.0) -> LoadgenReport:
+    """Run the workload against a live server over ``connections``
+    concurrent NDJSON clients (deterministic round-robin split)."""
+    connections = max(1, min(connections, len(workload)))
+    slices: list[list[Action]] = [[] for _ in range(connections)]
+    for index, action in enumerate(workload):
+        slices[index % connections].append(action)
+    started = time.perf_counter()
+    results = await asyncio.gather(*[
+        _run_connection(host, port, part, connect_timeout)
+        for part in slices
+    ], return_exceptions=True)
+    merged = LoadgenReport()
+    for result in results:
+        if isinstance(result, BaseException):
+            # One dying connection (server killed mid-burst, reset...)
+            # must not discard the other connections' observations.
+            merged.failed_connections += 1
+            if len(merged.error_samples) < 5:
+                merged.error_samples.append(f"connection failed: {result}")
+        else:
+            merged.merge(result)
+    merged.wall_s = time.perf_counter() - started
+    return merged
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def _parse_mix(text: str) -> tuple[tuple[str, float], ...]:
+    """``cold=0.5,warm=0.3`` -> ``(("cold", 0.5), ("warm", 0.3))``."""
+    mix = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, _, weight = part.partition("=")
+        mix.append((kind.strip(), float(weight or 1.0)))
+    return tuple(mix)
+
+
+def loadgen_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service loadgen",
+        description="Deterministic NDJSON workload against a running "
+                    "serve instance.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument("--cities", default="paris,barcelona")
+    parser.add_argument("--actions", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--mix", default=None,
+                        help="kind=weight pairs, e.g. "
+                             "'cold=0.6,warm=0.2,batch=0.1,session=0.1'")
+    parser.add_argument("--passes", type=int, default=1,
+                        help="replay the action list this many times")
+    parser.add_argument("--connections", type=int, default=2)
+    parser.add_argument("--connect-timeout", type=float, default=30.0,
+                        help="retry window while waiting for the server")
+    parser.add_argument("--deadline", type=float, default=300.0,
+                        help="overall wall-clock bound; a run that "
+                             "exceeds it fails (hang detector)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on any non-shed error response")
+    args = parser.parse_args(argv)
+
+    config = LoadgenConfig(
+        cities=tuple(c.strip().lower() for c in args.cities.split(",")
+                     if c.strip()),
+        actions=args.actions, seed=args.seed, passes=args.passes,
+        mix=_parse_mix(args.mix) if args.mix else DEFAULT_MIX,
+    )
+    workload = build_workload(config)
+
+    async def bounded() -> LoadgenReport:
+        # The deadline is the hang detector: a server that accepts but
+        # never answers must fail this run, not stall it forever.
+        return await asyncio.wait_for(
+            run_tcp(args.host, args.port, workload,
+                    connections=args.connections,
+                    connect_timeout=args.connect_timeout),
+            timeout=args.deadline,
+        )
+
+    try:
+        report = asyncio.run(bounded())
+    except asyncio.TimeoutError:
+        print(f"loadgen exceeded its {args.deadline:.0f}s deadline "
+              "(hung server?)", file=sys.stderr)
+        return 2
+    print(report.summary(), file=sys.stderr)
+    if args.check and (report.errors or report.failed_connections):
+        print(f"--check failed: {report.errors} error responses, "
+              f"{report.failed_connections} failed connections",
+              file=sys.stderr)
+        return 1
+    return 0

@@ -7,12 +7,18 @@ bounded window of recent samples per operation supports percentile
 estimates without unbounded memory; totals are exact.
 
 Everything is thread-safe: the batch path records from worker threads.
+
+:func:`merge_snapshots` combines snapshots taken in different
+*processes* -- the shard layer keeps one ``ServiceMetrics`` per worker
+and merges their pictures front-side, so cluster-wide stats never
+require sharing mutable state across the process boundary.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
+from collections.abc import Sequence
 from contextlib import contextmanager
 from threading import Lock
 
@@ -99,3 +105,41 @@ class ServiceMetrics:
             "throughput_per_s": total / elapsed if elapsed > 0 else 0.0,
             "operations": ops,
         }
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """One cluster-wide view from per-shard :meth:`ServiceMetrics.snapshot`
+    dicts.
+
+    Counts and totals are exact sums; min/max are exact extremes; the
+    merged mean is recomputed from the summed totals.  Percentiles
+    cannot be merged exactly from summaries, so p50/p95 are
+    count-weighted averages of the per-shard estimates -- close enough
+    for dashboards, and clearly an estimate, never used in assertions.
+    Uptime is the maximum across shards (they start together), so the
+    merged throughput is aggregate operations over cluster wall clock.
+    """
+    merged_ops: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, stats in snapshot.get("operations", {}).items():
+            agg = merged_ops.get(name)
+            if agg is None:
+                merged_ops[name] = dict(stats)
+                continue
+            count = agg["count"] + stats["count"]
+            agg["total_ms"] += stats["total_ms"]
+            agg["min_ms"] = min(agg["min_ms"], stats["min_ms"])
+            agg["max_ms"] = max(agg["max_ms"], stats["max_ms"])
+            for pct in ("p50_ms", "p95_ms"):
+                agg[pct] = ((agg[pct] * agg["count"]
+                             + stats[pct] * stats["count"]) / count)
+            agg["count"] = count
+            agg["mean_ms"] = agg["total_ms"] / count
+    uptime = max((s.get("uptime_s", 0.0) for s in snapshots), default=0.0)
+    total = sum(stats["count"] for stats in merged_ops.values())
+    return {
+        "uptime_s": uptime,
+        "total_operations": total,
+        "throughput_per_s": total / uptime if uptime > 0 else 0.0,
+        "operations": merged_ops,
+    }

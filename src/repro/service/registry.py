@@ -90,6 +90,19 @@ class CityRegistry:
                 lock = self._city_locks[city] = Lock()
             return lock
 
+    def _discard_lock(self, city: str) -> None:
+        """Drop a per-city lock slot after a failed load.
+
+        City names are client-controlled, so a lock entry must never
+        outlive a failed ``entry``/``register`` call: otherwise every
+        bad city name in traffic leaks one Lock forever.  A concurrent
+        loader that still holds the discarded Lock object at worst
+        refits the city once more; it cannot corrupt ``_entries``.
+        """
+        with self._lock:
+            if city not in self._entries:
+                self._city_locks.pop(city, None)
+
     def register(self, dataset: POIDataset,
                  item_index: ItemVectorIndex | None = None,
                  name: str | None = None) -> CityEntry:
@@ -98,18 +111,30 @@ class CityRegistry:
 
         Registering replaces any previously-loaded entry of that name;
         benchmarks use this to serve cities a test harness already
-        built.
+        built.  A failed registration (e.g. LDA cannot fit an empty
+        dataset) leaves no trace: the name stays unregistered and can
+        be retried or registered with a valid dataset later.
         """
         city = (name or dataset.city).lower()
         if not city:
             raise ValueError("a registered dataset needs a city name")
-        entry = self._make_entry(city, dataset, item_index)
-        with self._lock:
-            self._entries[city] = entry
-        return entry
+        try:
+            with self._lock_for(city):
+                entry = self._make_entry(city, dataset, item_index)
+                with self._lock:
+                    self._entries[city] = entry
+                return entry
+        except BaseException:
+            self._discard_lock(city)
+            raise
 
     def _make_entry(self, city: str, dataset: POIDataset,
                     item_index: ItemVectorIndex | None = None) -> CityEntry:
+        if len(dataset) == 0:
+            # Catch this at load time: an empty dataset "fits" a
+            # degenerate LDA and then NaN-poisons every centroid the
+            # builder seeds, failing requests far from the cause.
+            raise ValueError(f"cannot serve city {city!r}: dataset is empty")
         index = item_index or ItemVectorIndex.fit(
             dataset, lda_iterations=self.lda_iterations, seed=self.seed
         )
@@ -128,15 +153,19 @@ class CityRegistry:
         existing = self._entries.get(city)
         if existing is not None:
             return existing
-        with self._lock_for(city):
-            existing = self._entries.get(city)
-            if existing is not None:  # lost the race to another thread
-                return existing
-            dataset = generate_city(city, seed=self.seed, scale=self.scale)
-            entry = self._make_entry(city, dataset)
-            with self._lock:
-                self._entries[city] = entry
-            return entry
+        try:
+            with self._lock_for(city):
+                existing = self._entries.get(city)
+                if existing is not None:  # lost the race to another thread
+                    return existing
+                dataset = generate_city(city, seed=self.seed, scale=self.scale)
+                entry = self._make_entry(city, dataset)
+                with self._lock:
+                    self._entries[city] = entry
+                return entry
+        except BaseException:
+            self._discard_lock(city)
+            raise
 
     # -- views -------------------------------------------------------------
 

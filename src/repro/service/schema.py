@@ -33,6 +33,23 @@ from repro.profiles.consensus import ConsensusMethod
 from repro.profiles.group import GroupProfile
 
 
+class ErrorCode(str, enum.Enum):
+    """Machine-readable classification of error responses.
+
+    The string value travels on the wire (``PackageResponse.code``), so
+    clients and the load generator can branch on failure class without
+    parsing messages: ``overloaded`` is retryable after backoff,
+    ``bad_request``/``invalid``/``not_found`` are not.
+    """
+
+    BAD_REQUEST = "bad_request"    # unparseable or schema-invalid payload
+    NOT_FOUND = "not_found"        # unknown city / POI / resource
+    INVALID = "invalid"            # well-formed but unservable request
+    UNKNOWN_SESSION = "unknown_session"
+    OVERLOADED = "overloaded"      # shed by admission control; retryable
+    FAILED = "failed"              # internal build failure
+
+
 @dataclass(frozen=True)
 class GroupSpec:
     """A server-resolved synthetic group (Section 4.1 generators).
@@ -189,7 +206,13 @@ class CustomizeRequest:
         if self.op is CustomizeOp.GENERATE and self.rect is None:
             raise ValueError("generate needs a rect")
         if self.rect is not None:
-            object.__setattr__(self, "rect", tuple(float(v) for v in self.rect))
+            rect = tuple(float(v) for v in self.rect)
+            if len(rect) != 4:
+                raise ValueError(
+                    "rect must be (lat, lon, width, height), "
+                    f"got {len(rect)} values"
+                )
+            object.__setattr__(self, "rect", rect)
 
     def rectangle(self) -> Rectangle:
         """The GENERATE rectangle as a geometry object."""
@@ -245,6 +268,10 @@ class PackageResponse:
         session_id: Set for responses tied to a customization session.
         request_id: Echo of the request's correlation id.
         error: Error message when the request could not be served.
+        code: Machine-readable :class:`ErrorCode` value accompanying
+            ``error`` (``None`` on success).
+        shard: Index of the shard that served the request, when served
+            through a :class:`~repro.service.shard.ShardCluster`.
     """
 
     city: str
@@ -255,6 +282,14 @@ class PackageResponse:
     session_id: str | None = None
     request_id: str | None = None
     error: str | None = None
+    code: str | None = None
+    shard: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.code is not None:
+            object.__setattr__(self, "code", ErrorCode(self.code).value)
+        if (self.code is not None) and self.error is None:
+            raise ValueError("an error code needs an error message")
 
     @property
     def ok(self) -> bool:
@@ -264,25 +299,34 @@ class PackageResponse:
     def to_dict(self) -> dict:
         return {
             "city": self.city,
-            "package": self.package.to_dict() if self.package else None,
+            # "is not None", not truthiness: TravelPackage has __len__,
+            # so presence must never hinge on its item count.
+            "package": (self.package.to_dict()
+                        if self.package is not None else None),
             "cached": self.cached,
             "latency_ms": self.latency_ms,
             "metrics": dict(self.metrics),
             "session_id": self.session_id,
             "request_id": self.request_id,
             "error": self.error,
+            "code": self.code,
+            "shard": self.shard,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "PackageResponse":
         package = data.get("package")
+        shard = data.get("shard")
         return cls(
             city=str(data["city"]),
-            package=TravelPackage.from_dict(package) if package else None,
+            package=(TravelPackage.from_dict(package)
+                     if package is not None else None),
             cached=bool(data.get("cached", False)),
             latency_ms=float(data.get("latency_ms", 0.0)),
             metrics=dict(data.get("metrics", {})),
             session_id=data.get("session_id"),
             request_id=data.get("request_id"),
             error=data.get("error"),
+            code=data.get("code"),
+            shard=int(shard) if shard is not None else None,
         )

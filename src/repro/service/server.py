@@ -1,0 +1,395 @@
+"""The asyncio NDJSON front-end: ``python -m repro.service serve``.
+
+One :class:`PackageServer` sits in front of a
+:class:`~repro.service.shard.ShardCluster` and speaks newline-delimited
+JSON over TCP (or, for debugging, stdin/stdout).  Each request line is
+an **envelope**::
+
+    {"op": "build", "request": {...BuildRequest wire dict...}, "id": 7}
+
+``op`` is one of :data:`~repro.service.engine.PackageService.DISPATCH_OPS`
+(``build`` is the default when omitted); ``request`` is the operation's
+wire payload; ``id`` is an optional client correlation value echoed on
+the response line.  Responses are one JSON object per line --
+:class:`~repro.service.schema.PackageResponse` dicts for package
+operations, stats/close-session dicts otherwise.  Requests on one
+connection are served **concurrently** (responses may interleave out of
+request order; correlate by ``id``/``request_id``).
+
+The front-end owns three serving concerns the cluster does not:
+
+* **Parsing and validation**: unparseable lines and malformed
+  envelopes come back as ``bad_request`` error lines -- a client can
+  never kill the connection with garbage.
+* **Admission control**: at most ``max_inflight`` requests may be in
+  flight cluster-wide; beyond it requests are immediately **shed** with
+  a structured ``overloaded`` error response (never queued, never
+  hung), so saturation degrades into fast, explicit rejections that a
+  client can back off on.
+* **Graceful drain**: shutdown stops accepting connections, lets
+  in-flight requests finish (bounded by a timeout), then closes
+  connections and tears the cluster down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+import time
+
+from repro.core.objective import ObjectiveWeights
+from repro.service.engine import PackageService
+from repro.service.schema import ErrorCode, PackageResponse
+from repro.service.shard import ShardCluster, ShardConfig
+
+#: Default TCP port (no meaning; "GT" on a phone keypad is 48, EDBT 2019 -> 8642).
+DEFAULT_PORT = 8642
+
+#: Stream-reader line limit.  A BuildRequest with an inline profile is
+#: a few KiB; a large batch envelope tens of KiB -- 4 MiB is far above
+#: any legitimate line while still bounding a hostile client's memory.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Bound on response tasks pending per connection.  Beyond it the read
+#: loop serves lines inline instead of spawning, so it stops reading --
+#: TCP backpressure then reaches the client, and a client that
+#: pipelines forever without reading cannot grow server memory.
+MAX_PIPELINED_PER_CONNECTION = 128
+
+
+def _error_line(message: str, code: ErrorCode,
+                envelope_id=None, request_id=None) -> dict:
+    payload = PackageResponse(city="", error=message, code=code.value,
+                              request_id=request_id).to_dict()
+    if envelope_id is not None:
+        payload["id"] = envelope_id
+    return payload
+
+
+class PackageServer:
+    """NDJSON front-end over a shard cluster.
+
+    Args:
+        cluster: The serving backend (owns workers, routing, sessions).
+        max_inflight: Bound on concurrently served requests; beyond it
+            new requests are shed with ``overloaded``.
+    """
+
+    def __init__(self, cluster: ShardCluster, max_inflight: int = 64) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.cluster = cluster
+        self.max_inflight = max_inflight
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        # Mutated only from the event loop thread; no lock needed.
+        self._inflight = 0
+        # Responses being computed *or still being written*; drain must
+        # wait on this, not on _inflight, which drops before the write.
+        self._responding = 0
+        self.stats_counters = {
+            "accepted": 0, "shed": 0, "bad_lines": 0, "peak_inflight": 0,
+            "connections_total": 0,
+        }
+
+    # -- request path ------------------------------------------------------
+
+    async def handle_line(self, line: str | bytes) -> dict:
+        """One request line to one response dict (never raises)."""
+        try:
+            envelope = json.loads(line)
+        except json.JSONDecodeError as exc:
+            self.stats_counters["bad_lines"] += 1
+            return _error_line(f"bad request line: {exc}",
+                               ErrorCode.BAD_REQUEST)
+        if not isinstance(envelope, dict):
+            self.stats_counters["bad_lines"] += 1
+            return _error_line("request line must be a JSON object",
+                               ErrorCode.BAD_REQUEST)
+        envelope_id = envelope.get("id")
+        op = envelope.get("op", "build")
+        payload = envelope.get("request")
+        if payload is None:
+            # Back-compat with the PR-1 json-lines format: a bare
+            # BuildRequest dict (no envelope) still builds.
+            payload = {k: v for k, v in envelope.items()
+                       if k not in ("op", "id")}
+        if not isinstance(op, str) or not isinstance(payload, dict):
+            self.stats_counters["bad_lines"] += 1
+            return _error_line("envelope needs a string 'op' and an "
+                               "object 'request'", ErrorCode.BAD_REQUEST,
+                               envelope_id)
+        if op not in PackageService.DISPATCH_OPS:
+            return _error_line(f"unknown operation {op!r}",
+                               ErrorCode.BAD_REQUEST, envelope_id,
+                               payload.get("request_id"))
+
+        if self._draining or self._inflight >= self.max_inflight:
+            self.stats_counters["shed"] += 1
+            reason = ("server is draining" if self._draining else
+                      f"server overloaded: {self._inflight} requests in "
+                      f"flight (limit {self.max_inflight})")
+            return _error_line(reason, ErrorCode.OVERLOADED, envelope_id,
+                               payload.get("request_id"))
+
+        self._inflight += 1
+        self.stats_counters["accepted"] += 1
+        self.stats_counters["peak_inflight"] = max(
+            self.stats_counters["peak_inflight"], self._inflight
+        )
+        try:
+            response = await asyncio.wrap_future(self.cluster.submit(op, payload))
+        except Exception as exc:  # worker/pool failure: answer, don't hang
+            response = _error_line(f"dispatch failed: {exc}",
+                                   ErrorCode.FAILED, envelope_id,
+                                   payload.get("request_id"))
+        finally:
+            self._inflight -= 1
+        if op == "stats":
+            response = dict(response, server=self.stats())
+        if envelope_id is not None:
+            response = dict(response, id=envelope_id)
+        return response
+
+    async def _process_line(self, line: bytes, writer: asyncio.StreamWriter,
+                            write_lock: asyncio.Lock) -> None:
+        """Serve one line and write its reply.  The caller increments
+        ``_responding`` *before* scheduling this coroutine -- counting
+        only from the task body would leave a created-but-unstarted
+        task invisible to :meth:`drain`, which could then close the
+        writer under a reply that is owed."""
+        try:
+            response = await self.handle_line(line)
+            data = json.dumps(response).encode("utf-8") + b"\n"
+            async with write_lock:
+                if writer.is_closing():
+                    return
+                writer.write(data)
+                await writer.drain()  # TCP backpressure: slow readers slow us
+        except (ConnectionResetError, BrokenPipeError, ConnectionError):
+            pass  # client went away mid-response; nothing left to tell it
+        finally:
+            self._responding -= 1
+
+    async def handle_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self.stats_counters["connections_total"] += 1
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeded the stream limit.  NDJSON cannot
+                    # resync mid-line, so answer structurally and close
+                    # -- but never silently.
+                    self.stats_counters["bad_lines"] += 1
+                    error = _error_line(
+                        f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        ErrorCode.BAD_REQUEST,
+                    )
+                    async with write_lock:
+                        writer.write(json.dumps(error).encode() + b"\n")
+                        await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self._responding += 1  # see _process_line's docstring
+                if len(tasks) >= MAX_PIPELINED_PER_CONNECTION:
+                    # Serve inline: the read loop pauses, so the bound
+                    # holds and backpressure reaches the client.
+                    await self._process_line(line, writer, write_lock)
+                    continue
+                task = asyncio.create_task(
+                    self._process_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # ConnectionError covers reset and broken-pipe alike
+        finally:
+            # Responses already in flight must go out even when the
+            # read loop died -- a reply, once accepted, is owed.
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = DEFAULT_PORT) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)
+        (useful with ``port=0``)."""
+        self._server = await asyncio.start_server(self.handle_connection,
+                                                  host, port,
+                                                  limit=MAX_LINE_BYTES)
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def drain(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown: stop accepting, shed new lines, let
+        in-flight requests finish (up to ``timeout``), close
+        connections.  The cluster itself is left to the caller."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + timeout
+        # Wait for responses to be *written*, not merely computed: an
+        # accepted request's reply queued behind a connection's write
+        # lock is still owed.
+        while self._responding and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        for writer in list(self._writers):
+            writer.close()
+        for writer in list(self._writers):
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        self._writers.clear()
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def stats(self) -> dict:
+        """Front-end counters (the cluster's live in its own stats)."""
+        return dict(self.stats_counters,
+                    inflight=self._inflight,
+                    max_inflight=self.max_inflight,
+                    connections_open=len(self._writers),
+                    draining=self._draining)
+
+
+async def serve_stdin(server: PackageServer, stdin=None, stdout=None) -> int:
+    """Debug mode: one envelope per stdin line, one response per stdout
+    line, served sequentially; returns lines served."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    loop = asyncio.get_running_loop()
+    served = 0
+    while True:
+        line = await loop.run_in_executor(None, stdin.readline)
+        if not line:
+            return served
+        if not line.strip():
+            continue
+        response = await server.handle_line(line)
+        print(json.dumps(response), file=stdout, flush=True)
+        served += 1
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def _build_cluster(args: argparse.Namespace) -> ShardCluster:
+    config = ShardConfig(
+        seed=args.seed, scale=args.scale,
+        lda_iterations=args.lda_iterations,
+        weights=ObjectiveWeights(gamma=args.gamma),
+        cache_capacity=args.cache_capacity,
+    )
+    cities = [c.strip().lower() for c in args.cities.split(",") if c.strip()]
+    return ShardCluster(shards=args.shards, config=config, cities=cities,
+                        use_processes=not args.threads)
+
+
+async def _serve_async(args: argparse.Namespace) -> int:
+    cluster = _build_cluster(args)
+    server = PackageServer(cluster, max_inflight=args.max_inflight)
+    try:
+        if not args.no_warm and cluster.placement:
+            print(f"warming {sorted(cluster.placement)} over "
+                  f"{cluster.shard_count} shard(s)...", file=sys.stderr)
+            started = time.perf_counter()
+            warmed = await asyncio.wrap_future(
+                cluster.submit("warmup", {"cities": list(cluster.placement)})
+            )
+            print(f"warm: {', '.join(warmed['cities'])} "
+                  f"({time.perf_counter() - started:.1f}s)", file=sys.stderr)
+            for city, reason in warmed.get("failed", {}).items():
+                print(f"warmup failed for {city!r}: {reason}",
+                      file=sys.stderr)
+        if args.stdin:
+            print("serving NDJSON on stdin/stdout", file=sys.stderr)
+            served = await serve_stdin(server)
+            print(f"served {served} lines", file=sys.stderr)
+        else:
+            host, port = await server.start(args.host, args.port)
+            print(f"listening on {host}:{port} "
+                  f"({cluster.shard_count} shard(s), "
+                  f"max {args.max_inflight} in flight)",
+                  file=sys.stderr, flush=True)
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except NotImplementedError:  # pragma: no cover - non-unix
+                    pass
+            await stop.wait()
+            print("draining...", file=sys.stderr)
+            await server.drain(timeout=args.drain_timeout)
+        counters = server.stats()
+        print(f"front-end: {counters['accepted']} accepted, "
+              f"{counters['shed']} shed, {counters['bad_lines']} bad lines, "
+              f"peak in-flight {counters['peak_inflight']}", file=sys.stderr)
+    finally:
+        cluster.shutdown()
+    return 0
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"TCP port, 0 = ephemeral (default: {DEFAULT_PORT})")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="worker count (default: 2)")
+    parser.add_argument("--cities", default="paris,barcelona",
+                        help="cities placed round-robin across shards and "
+                             "warmed at startup")
+    parser.add_argument("--scale", type=float, default=0.35,
+                        help="synthetic city scale (default: 0.35)")
+    parser.add_argument("--lda-iterations", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--gamma", type=float, default=1.0,
+                        help="personalization weight of Equation 1")
+    parser.add_argument("--cache-capacity", type=int, default=256,
+                        help="per-shard package-cache capacity")
+    parser.add_argument("--max-inflight", type=int, default=64,
+                        help="admission-control bound; beyond it requests "
+                             "are shed with an 'overloaded' response")
+    parser.add_argument("--drain-timeout", type=float, default=10.0)
+    parser.add_argument("--threads", action="store_true",
+                        help="thread-backed shards instead of processes "
+                             "(debugging / constrained environments)")
+    parser.add_argument("--stdin", action="store_true",
+                        help="serve envelopes on stdin/stdout instead of TCP")
+    parser.add_argument("--no-warm", action="store_true",
+                        help="skip fitting city assets before accepting "
+                             "traffic")
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service serve",
+        description="Sharded NDJSON package-serving front-end.",
+    )
+    add_serve_arguments(parser)
+    args = parser.parse_args(argv)
+    return asyncio.run(_serve_async(args))

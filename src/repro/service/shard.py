@@ -1,0 +1,445 @@
+"""City-affinity sharding: a process-pool layer under the server.
+
+A :class:`ShardCluster` runs ``n`` workers, each owning a **complete,
+private** serving stack -- its own
+:class:`~repro.service.registry.CityRegistry` and
+:class:`~repro.service.engine.PackageService` -- for the cities routed
+to it.  The expensive per-city assets (LDA item vectors, FCM centroid
+seeds, the package cache) are therefore fit **once, inside the owning
+worker**, and never cross the process boundary; the only traffic
+between front-end and workers is the picklable wire dicts of
+:meth:`~repro.service.engine.PackageService.dispatch`.
+
+Routing rules:
+
+* ``build`` / ``open_session`` / ``batch`` requests route by **city
+  affinity** -- explicit placement first (cities named up front are
+  spread round-robin), a stable CRC32 hash of the city name otherwise.
+  ``hash()`` is per-process salted and useless here; routing must be
+  identical across runs for the determinism guarantees to hold.
+* ``customize`` / ``close_session`` requests are **sticky**: a session
+  id leaving the cluster is prefixed ``"<shard>/<local-id>"`` and later
+  requests are routed back to the shard that opened the session (whose
+  worker holds the session state).
+* ``batch`` requests are split per shard, served concurrently, and
+  reassembled in request order.
+* ``stats`` fans out to every shard and merges.
+
+Each shard's pool has exactly one worker, so a shard serves its cities
+serially (its internal cache and FCM seed caches see every request) and
+the cluster's concurrency equals its shard count.  ``use_processes=False``
+swaps the process pools for single threads -- same routing, stickiness
+and serialization boundary, without fork/IPC cost; tests and the stdin
+server mode use it, and it accepts a ``service_factory`` so suites can
+inject services over pre-fitted registries.
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Callable
+
+from repro.core.objective import ObjectiveWeights
+from repro.service.engine import MAX_BATCH_REQUESTS, PackageService
+from repro.service.metrics import merge_snapshots
+from repro.service.registry import CityRegistry
+from repro.service.schema import ErrorCode, PackageResponse
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a worker needs to build its serving stack.
+
+    Must stay picklable (plain numbers plus ``ObjectiveWeights``): it is
+    the *only* object shipped to worker processes at startup.
+
+    Attributes mirror :class:`~repro.service.registry.CityRegistry` and
+    :class:`~repro.service.engine.PackageService` construction knobs.
+    """
+
+    seed: int = 2019
+    scale: float = 1.0
+    lda_iterations: int = 120
+    k: int = 5
+    weights: ObjectiveWeights = field(default_factory=ObjectiveWeights)
+    candidate_pool: int = 60
+    cache_capacity: int = 256
+    batch_workers: int = 8
+    max_sessions: int = 1024
+
+    def make_service(self) -> PackageService:
+        """A fresh serving stack per this configuration (runs in the
+        worker for process shards)."""
+        registry = CityRegistry(
+            seed=self.seed, scale=self.scale,
+            lda_iterations=self.lda_iterations, k=self.k,
+            weights=self.weights, candidate_pool=self.candidate_pool,
+        )
+        return PackageService(registry, cache_capacity=self.cache_capacity,
+                              max_workers=self.batch_workers,
+                              max_sessions=self.max_sessions)
+
+
+# -- worker-process globals ---------------------------------------------------
+
+_WORKER_SERVICE: PackageService | None = None
+_WORKER_SHARD: int = -1
+
+
+def _init_worker(config: ShardConfig, shard_id: int) -> None:
+    """Process-pool initializer: build this worker's private stack.
+
+    Deliberately cheap -- city generation and LDA fitting stay lazy, so
+    a broken fit surfaces as an error *response* to the offending
+    request (or warmup call), not as a broken pool.
+    """
+    global _WORKER_SERVICE, _WORKER_SHARD
+    _WORKER_SERVICE = config.make_service()
+    _WORKER_SHARD = shard_id
+
+
+def _tag_shard(result: dict, shard_id: int) -> dict:
+    """Stamp the serving shard onto a dispatch result (and any nested
+    batch responses) so clients can observe routing."""
+    result["shard"] = shard_id
+    for sub in result.get("responses", ()):
+        sub["shard"] = shard_id
+    return result
+
+
+def _worker_dispatch(op: str, payload: dict) -> dict:
+    """The one function shipped across the process boundary."""
+    assert _WORKER_SERVICE is not None, "worker initializer did not run"
+    return _tag_shard(_WORKER_SERVICE.dispatch(op, payload), _WORKER_SHARD)
+
+
+# -- future plumbing ----------------------------------------------------------
+
+def _completed(value: dict) -> Future:
+    future: Future = Future()
+    future.set_result(value)
+    return future
+
+
+def _chain(future: Future, fn: Callable[[dict], dict]) -> Future:
+    """``fn`` applied to ``future``'s result, as a new Future (no
+    blocking; runs in the done-callback)."""
+    out: Future = Future()
+
+    def _done(completed: Future) -> None:
+        try:
+            out.set_result(fn(completed.result()))
+        except BaseException as exc:  # pragma: no cover - plumbing guard
+            out.set_exception(exc)
+
+    future.add_done_callback(_done)
+    return out
+
+
+def _gather(futures: list[Future], combine: Callable[[list[dict]], dict]) -> Future:
+    """One Future resolving to ``combine([f.result() ...])`` once every
+    input future is done (order preserved)."""
+    out: Future = Future()
+    results: list[dict | None] = [None] * len(futures)
+    state = {"pending": len(futures)}
+    lock = Lock()
+    if not futures:
+        out.set_result(combine([]))
+        return out
+
+    def _done(index: int, completed: Future) -> None:
+        with lock:
+            try:
+                results[index] = completed.result()
+            except BaseException as exc:
+                if not out.done():
+                    out.set_exception(exc)
+                return
+            state["pending"] -= 1
+            finished = state["pending"] == 0
+        if finished and not out.done():
+            try:
+                out.set_result(combine(results))  # type: ignore[arg-type]
+            except BaseException as exc:  # pragma: no cover - plumbing guard
+                out.set_exception(exc)
+
+    for index, future in enumerate(futures):
+        future.add_done_callback(
+            lambda completed, index=index: _done(index, completed)
+        )
+    return out
+
+
+# -- the cluster --------------------------------------------------------------
+
+class _Shard:
+    """One worker and its submission queue."""
+
+    def __init__(self, shard_id: int, config: ShardConfig,
+                 use_processes: bool,
+                 service_factory: Callable[[int], PackageService] | None) -> None:
+        self.id = shard_id
+        self._service: PackageService | None = None
+        if use_processes:
+            self._pool: ProcessPoolExecutor | ThreadPoolExecutor = (
+                ProcessPoolExecutor(max_workers=1, initializer=_init_worker,
+                                    initargs=(config, shard_id))
+            )
+        else:
+            self._service = (service_factory(shard_id) if service_factory
+                             else config.make_service())
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"shard-{shard_id}"
+            )
+
+    def submit(self, op: str, payload: dict) -> Future:
+        if self._service is not None:
+            service = self._service
+            return self._pool.submit(
+                lambda: _tag_shard(service.dispatch(op, payload), self.id)
+            )
+        return self._pool.submit(_worker_dispatch, op, payload)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+        if self._service is not None:
+            self._service.close()
+
+
+class ShardCluster:
+    """A sharded, city-affine serving cluster with a dispatch API
+    mirroring :meth:`PackageService.dispatch
+    <repro.service.engine.PackageService.dispatch>`.
+
+    Args:
+        shards: Number of workers (>= 1).
+        config: Per-worker serving configuration.
+        cities: Cities to place up front, spread round-robin in the
+            given order (so ``cities=["paris", "rome"]`` over two shards
+            puts one city on each).  Other cities hash to a shard.
+        use_processes: Process workers (the real deployment shape) or
+            single-thread workers (cheap; for tests and stdin serving).
+        service_factory: Thread mode only -- build shard ``i``'s service
+            (e.g. over a pre-fitted registry) instead of from ``config``.
+    """
+
+    def __init__(self, shards: int = 2, config: ShardConfig | None = None,
+                 cities: list[str] | tuple[str, ...] | None = None,
+                 use_processes: bool = True,
+                 service_factory: Callable[[int], PackageService] | None = None) -> None:
+        if shards < 1:
+            raise ValueError("a cluster needs at least one shard")
+        if use_processes and service_factory is not None:
+            raise ValueError("service_factory requires use_processes=False")
+        self.config = config or ShardConfig()
+        self._placement: dict[str, int] = {}
+        self._shards = [_Shard(i, self.config, use_processes, service_factory)
+                        for i in range(shards)]
+        self._closed = False
+        for index, city in enumerate(cities or ()):
+            self._placement[city.lower()] = index % shards
+
+    # -- routing -----------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def placement(self) -> dict[str, int]:
+        """Explicitly placed cities (hash-routed cities are absent)."""
+        return dict(self._placement)
+
+    def shard_for(self, city: str) -> int:
+        """The shard serving ``city``: explicit placement, else a stable
+        content hash (identical across processes and runs)."""
+        city = city.lower()
+        placed = self._placement.get(city)
+        if placed is not None:
+            return placed
+        return zlib.crc32(city.encode("utf-8")) % len(self._shards)
+
+    @staticmethod
+    def _split_session_id(session_id: str) -> tuple[int, str] | None:
+        shard, sep, local = str(session_id).partition("/")
+        # isdecimal(), not isdigit(): the latter accepts characters
+        # (e.g. superscripts) that int() rejects with ValueError.
+        if sep and shard.isdecimal():
+            return int(shard), local
+        return None
+
+    def _session_error(self, session_id: str, request_id) -> Future:
+        return _completed(PackageResponse(
+            city="", error=f"no open session {session_id!r}",
+            code=ErrorCode.UNKNOWN_SESSION.value,
+            session_id=str(session_id) or None, request_id=request_id,
+        ).to_dict())
+
+    @staticmethod
+    def _prefix_session(result: dict, shard_id: int) -> dict:
+        local = result.get("session_id")
+        if local is not None:
+            result["session_id"] = f"{shard_id}/{local}"
+        return result
+
+    # -- dispatch ----------------------------------------------------------
+
+    def submit(self, op: str, payload: dict) -> Future:
+        """Route one wire operation to its shard(s); the Future resolves
+        to the response dict (session ids in cluster form)."""
+        if self._closed:
+            raise RuntimeError("cluster is shut down")
+        if op in ("build", "open_session"):
+            shard = self.shard_for(str(payload.get("city", "")))
+            future = self._shards[shard].submit(op, payload)
+            if op == "open_session":
+                return _chain(future,
+                              lambda r, s=shard: self._prefix_session(r, s))
+            return future
+        if op in ("customize", "close_session"):
+            route = self._split_session_id(payload.get("session_id", ""))
+            if route is None or route[0] >= len(self._shards):
+                return self._session_error(payload.get("session_id", ""),
+                                           payload.get("request_id"))
+            shard, local = route
+            rewritten = dict(payload, session_id=local)
+            future = self._shards[shard].submit(op, rewritten)
+            return _chain(future,
+                          lambda r, s=shard: self._prefix_session(r, s))
+        if op == "batch":
+            return self._submit_batch(payload)
+        if op == "warmup":
+            return self._submit_warmup(payload)
+        if op == "stats":
+            return _gather([s.submit("stats", {}) for s in self._shards],
+                           self._combine_stats)
+        if op == "ping":
+            return _gather([s.submit("ping", {}) for s in self._shards],
+                           lambda results: {"ok": all(r.get("ok")
+                                                      for r in results),
+                                            "shards": len(results)})
+        return _completed(PackageResponse(
+            city="", error=f"unknown operation {op!r}",
+            code=ErrorCode.BAD_REQUEST.value,
+            request_id=(payload.get("request_id")
+                        if isinstance(payload, dict) else None),
+        ).to_dict())
+
+    def dispatch(self, op: str, payload: dict) -> dict:
+        """Blocking convenience over :meth:`submit`."""
+        return self.submit(op, payload).result()
+
+    def _submit_batch(self, payload: dict) -> Future:
+        requests = payload.get("requests")
+        if not isinstance(requests, list):
+            return _completed(PackageResponse(
+                city="", error="batch payload needs a 'requests' list",
+                code=ErrorCode.BAD_REQUEST.value,
+            ).to_dict())
+        if len(requests) > MAX_BATCH_REQUESTS:
+            # One envelope is one admission-control unit; an unbounded
+            # batch inside it would queue unbounded work regardless.
+            return _completed(PackageResponse(
+                city="", error=f"batch of {len(requests)} exceeds the "
+                               f"{MAX_BATCH_REQUESTS}-request limit",
+                code=ErrorCode.BAD_REQUEST.value,
+            ).to_dict())
+        slots: list[dict | None] = [None] * len(requests)
+        groups: dict[int, list[int]] = {}
+        for index, request in enumerate(requests):
+            if not isinstance(request, dict):
+                # Never ships to a worker; the slot errors in place.
+                slots[index] = PackageResponse(
+                    city="", error="batch elements must be request objects",
+                    code=ErrorCode.BAD_REQUEST.value,
+                ).to_dict()
+                continue
+            city = str(request.get("city", ""))
+            groups.setdefault(self.shard_for(city), []).append(index)
+
+        ordered = sorted(groups.items())
+        futures = [
+            self._shards[shard].submit(
+                "batch", {"requests": [requests[i] for i in indices]}
+            )
+            for shard, indices in ordered
+        ]
+
+        def _reassemble(results: list[dict]) -> dict:
+            for (_, indices), result in zip(ordered, results):
+                sub = result.get("responses")
+                if sub is None:
+                    # The worker answered with a top-level error (e.g.
+                    # bad_request): every slot of that sub-batch gets it.
+                    sub = [result] * len(indices)
+                for index, response in zip(indices, sub):
+                    slots[index] = response
+            return {"responses": slots}
+
+        return _gather(futures, _reassemble)
+
+    def _submit_warmup(self, payload: dict) -> Future:
+        cities = [str(c) for c in payload.get("cities", ())]
+        groups: dict[int, list[str]] = {}
+        for city in cities:
+            groups.setdefault(self.shard_for(city), []).append(city)
+        futures = [self._shards[shard].submit("warmup", {"cities": group})
+                   for shard, group in sorted(groups.items())]
+
+        def _combine(results: list[dict]) -> dict:
+            combined: dict = {"cities": sorted(
+                {c for r in results for c in r.get("cities", ())}
+            )}
+            failed: dict[str, str] = {}
+            for result in results:
+                failed.update(result.get("failed", {}))
+            if failed:
+                combined["failed"] = failed
+            return combined
+
+        return _gather(futures, _combine)
+
+    # -- lifecycle / observability ----------------------------------------
+
+    def warm(self, cities: list[str] | tuple[str, ...] | None = None) -> dict:
+        """Fit city assets ahead of traffic, each on its owning shard
+        (defaults to the explicitly placed cities)."""
+        cities = list(cities) if cities is not None else list(self._placement)
+        return self.dispatch("warmup", {"cities": cities})
+
+    def _combine_stats(self, results: list[dict]) -> dict:
+        cache = {"size": 0, "capacity": 0, "hits": 0, "misses": 0,
+                 "evictions": 0}
+        for result in results:
+            for key in cache:
+                cache[key] += result["cache"][key]
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
+        return {
+            "shards": results,
+            "placement": self.placement,
+            "cities": sorted({c for r in results for c in r["cities"]}),
+            "open_sessions": sum(r["open_sessions"] for r in results),
+            "cache": cache,
+            "metrics": merge_snapshots([r["metrics"] for r in results]),
+        }
+
+    def stats(self) -> dict:
+        """Merged cluster counters plus the per-shard breakdown."""
+        return self.dispatch("stats", {})
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (with ``wait``) drain queued
+        requests before tearing the workers down."""
+        self._closed = True
+        for shard in self._shards:
+            shard.shutdown(wait=wait)
+
+    def __enter__(self) -> "ShardCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -75,8 +75,16 @@ def one_way_anova(*groups: Sequence[float]) -> AnovaResult:
         raise ValueError("not enough observations for within-group variance")
 
     grand_mean = float(np.concatenate(arrays).mean())
-    ss_between = sum(len(a) * (float(a.mean()) - grand_mean) ** 2 for a in arrays)
-    ss_within = sum(float(((a - a.mean()) ** 2).sum()) for a in arrays)
+    centered = [a - grand_mean for a in arrays]
+    # The F statistic is invariant under x -> (x - c) / s.  Normalizing
+    # the centered data to unit max magnitude keeps the squared sums
+    # out of the subnormal/overflow ranges (e.g. observations of order
+    # 1e-160 square to 1e-320, where float64 loses digits).
+    spread = max((float(np.max(np.abs(c))) for c in centered), default=0.0)
+    if spread > 0.0:
+        centered = [c / spread for c in centered]
+    ss_between = sum(len(c) * float(c.mean()) ** 2 for c in centered)
+    ss_within = sum(float(((c - c.mean()) ** 2).sum()) for c in centered)
 
     ms_between = ss_between / df_between
     ms_within = ss_within / df_within

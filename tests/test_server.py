@@ -1,0 +1,498 @@
+"""The serving tier: shard routing, sticky sessions, the NDJSON
+front-end's admission control and drain, and the load generator.
+
+Cluster tests run thread-backed shards over the session's pre-fitted
+city (no extra LDA fits); one test boots a real two-process cluster at
+tiny scale to cover the fork/pickle path end to end.  Front-end
+behaviors that depend on timing (shedding, draining, out-of-order
+completion) run against a stub cluster whose futures the test resolves
+by hand, so they are deterministic.
+"""
+
+import asyncio
+import json
+from concurrent.futures import Future
+
+import pytest
+
+from repro.service import (
+    CityRegistry,
+    ErrorCode,
+    LoadgenConfig,
+    PackageServer,
+    PackageService,
+    ShardCluster,
+    ShardConfig,
+    build_workload,
+)
+from repro.service.loadgen import run_sync, run_tcp
+from repro.service.server import serve_stdin
+
+
+@pytest.fixture(scope="module")
+def cluster(app):
+    """Two thread-backed shards over the shared pre-fitted Paris (plus
+    lazily generated Barcelona on whichever shard it routes to)."""
+    registry = CityRegistry(seed=7, scale=0.4, lda_iterations=30)
+    registry.register(app.dataset, app.item_index, name="paris")
+
+    def factory(shard_id):
+        return PackageService(registry, cache_capacity=32)
+
+    cluster = ShardCluster(shards=2, config=ShardConfig(scale=0.4),
+                           cities=["paris", "barcelona"],
+                           use_processes=False, service_factory=factory)
+    yield cluster
+    cluster.shutdown()
+
+
+def spec_payload(city="paris", seed=5, **extra):
+    payload = {"city": city, "group_spec": {"size": 4, "seed": seed}}
+    payload.update(extra)
+    return payload
+
+
+class TestShardRouting:
+    def test_explicit_placement_round_robin(self, cluster):
+        assert cluster.placement == {"paris": 0, "barcelona": 1}
+        assert cluster.shard_for("paris") == 0
+        assert cluster.shard_for("PARIS") == 0  # case-insensitive
+        assert cluster.shard_for("barcelona") == 1
+
+    def test_hash_routing_is_stable(self, cluster):
+        # Unplaced cities fall back to a content hash -- it must be
+        # identical across calls (and, unlike hash(), across runs).
+        assert cluster.shard_for("rome") == cluster.shard_for("rome")
+        assert cluster.shard_for("rome") == ShardCluster(
+            shards=2, use_processes=False,
+            service_factory=lambda i: None,  # never dispatched
+        ).shard_for("rome")
+
+    def test_build_routes_by_city(self, cluster):
+        paris = cluster.dispatch("build", spec_payload("paris"))
+        assert paris["error"] is None and paris["shard"] == 0
+        barcelona = cluster.dispatch("build", spec_payload("barcelona"))
+        assert barcelona["error"] is None and barcelona["shard"] == 1
+
+    def test_batch_splits_and_reassembles_in_order(self, cluster):
+        requests = [
+            spec_payload("paris", 1, request_id="a"),
+            spec_payload("barcelona", 1, request_id="b"),
+            spec_payload("paris", 2, request_id="c"),
+            spec_payload("nowhere", 1, request_id="d"),  # error slot
+        ]
+        result = cluster.dispatch("batch", {"requests": requests})
+        responses = result["responses"]
+        assert [r["request_id"] for r in responses] == ["a", "b", "c", "d"]
+        assert [r["shard"] for r in responses[:3]] == [0, 1, 0]
+        assert responses[3]["error"] is not None
+        assert responses[3]["code"] == ErrorCode.NOT_FOUND.value
+
+    def test_malformed_batch_payload(self, cluster):
+        result = cluster.dispatch("batch", {"requests": "nope"})
+        assert result["code"] == ErrorCode.BAD_REQUEST.value
+
+    def test_malformed_batch_elements_error_their_own_slots(self, cluster):
+        # Regression: a non-dict element (or an unparseable dict) must
+        # come back as a bad_request *in its slot*, not raise in
+        # reassembly or poison its shard's whole sub-batch.
+        result = cluster.dispatch("batch", {"requests": [
+            None,                                      # not an object
+            spec_payload("paris", 1, request_id="good"),
+            {"city": "paris"},                         # no group form
+        ]})
+        responses = result["responses"]
+        assert responses[0]["code"] == ErrorCode.BAD_REQUEST.value
+        assert responses[1]["error"] is None
+        assert responses[1]["request_id"] == "good"
+        assert responses[2]["code"] == ErrorCode.BAD_REQUEST.value
+
+    def test_oversized_batch_is_rejected_whole(self, cluster):
+        # One envelope is one admission unit: an unbounded batch inside
+        # it must not become an unbounded work queue.
+        from repro.service.engine import MAX_BATCH_REQUESTS
+
+        oversized = [spec_payload("paris", s)
+                     for s in range(MAX_BATCH_REQUESTS + 1)]
+        result = cluster.dispatch("batch", {"requests": oversized})
+        assert result["code"] == ErrorCode.BAD_REQUEST.value
+        assert "limit" in result["error"]
+
+    def test_warmup_isolates_and_reports_bad_cities(self, cluster):
+        # Regression: one unknown city must not abort the other cities'
+        # warmup on its shard, and the failure must surface.
+        result = cluster.dispatch("warmup",
+                                  {"cities": ["atlantis", "paris"]})
+        assert "paris" in result["cities"]
+        assert "atlantis" in result["failed"]
+        assert "atlantis" in result["failed"]["atlantis"]
+
+    def test_unknown_op(self, cluster):
+        result = cluster.dispatch("explode", {})
+        assert result["code"] == ErrorCode.BAD_REQUEST.value
+
+
+class TestStickySessions:
+    def test_session_lives_on_its_shard(self, cluster):
+        opened = cluster.dispatch("open_session", spec_payload("barcelona"))
+        assert opened["error"] is None
+        sid = opened["session_id"]
+        assert sid.startswith("1/")  # barcelona's shard
+
+        victim = opened["package"]["composite_items"][0]["pois"][-1]
+        edited = cluster.dispatch("customize", {
+            "session_id": sid, "op": "remove", "ci_index": 0,
+            "poi_id": victim["id"],
+        })
+        assert edited["error"] is None
+        assert edited["shard"] == 1          # sticky: same shard
+        assert edited["session_id"] == sid   # cluster-form id echoed
+
+        closed = cluster.dispatch("close_session", {"session_id": sid})
+        assert len(closed["interactions"]) == 1
+        assert closed["interactions"][0]["kind"] == "remove"
+
+    def test_unprefixed_or_bogus_session_ids(self, cluster):
+        # "²" (superscript two) is isdigit() but not int()-parseable;
+        # it must classify as unknown_session, not raise.
+        for sid in ("s1", "99/s1", "not/a/number"[::-1], "", "²/s1"):
+            response = cluster.dispatch("customize", {
+                "session_id": sid, "op": "remove", "ci_index": 0,
+                "poi_id": 1,
+            })
+            assert response["error"] is not None
+            assert response["code"] == ErrorCode.UNKNOWN_SESSION.value
+
+    def test_session_unknown_on_other_shard(self, cluster):
+        opened = cluster.dispatch("open_session", spec_payload("paris"))
+        local = opened["session_id"].split("/", 1)[1]
+        # The same local id aimed at the *other* shard must not resolve.
+        response = cluster.dispatch("close_session",
+                                    {"session_id": f"1/{local}"})
+        assert response.get("code") == ErrorCode.UNKNOWN_SESSION.value
+        cluster.dispatch("close_session",
+                         {"session_id": opened["session_id"]})
+
+
+class TestClusterStats:
+    def test_stats_merge_shards(self, cluster):
+        cluster.dispatch("build", spec_payload("paris", seed=71))
+        cluster.dispatch("build", spec_payload("paris", seed=71))
+        cluster.dispatch("build", spec_payload("barcelona", seed=71))
+        stats = cluster.stats()
+        assert len(stats["shards"]) == 2
+        assert stats["placement"] == {"paris": 0, "barcelona": 1}
+        assert set(stats["cities"]) >= {"paris", "barcelona"}
+        combined = stats["cache"]
+        assert combined["hits"] == sum(s["cache"]["hits"]
+                                       for s in stats["shards"])
+        assert combined["hits"] >= 1  # the repeated paris build
+        ops = stats["metrics"]["operations"]
+        assert ops["build"]["count"] == sum(
+            s["metrics"]["operations"].get("build", {}).get("count", 0)
+            for s in stats["shards"])
+
+
+class TestProcessCluster:
+    def test_end_to_end_over_real_processes(self):
+        """The fork/pickle path: private per-worker assets, sticky
+        sessions and merged stats across actual processes."""
+        config = ShardConfig(scale=0.25, lda_iterations=20, seed=11,
+                             cache_capacity=8)
+        with ShardCluster(shards=2, config=config,
+                          cities=["paris", "barcelona"]) as cluster:
+            assert cluster.dispatch("ping", {})["ok"] is True
+            warmed = cluster.dispatch("warmup", {"cities": ["paris"]})
+            assert warmed["cities"] == ["paris"]
+
+            cold = cluster.dispatch("build", spec_payload("paris"))
+            assert cold["error"] is None and not cold["cached"]
+            warm = cluster.dispatch("build", spec_payload("paris"))
+            assert warm["cached"] and warm["shard"] == cold["shard"]
+
+            opened = cluster.dispatch("open_session",
+                                      spec_payload("paris", seed=6))
+            assert opened["error"] is None
+            closed = cluster.dispatch("close_session",
+                                      {"session_id": opened["session_id"]})
+            assert closed["interactions"] == []
+
+            stats = cluster.stats()
+            assert stats["cache"]["hits"] >= 1
+            assert len(stats["shards"]) == 2
+
+    def test_cluster_validation(self):
+        with pytest.raises(ValueError):
+            ShardCluster(shards=0)
+        with pytest.raises(ValueError):
+            ShardCluster(shards=1, use_processes=True,
+                         service_factory=lambda i: None)
+
+
+# -- the NDJSON front-end ------------------------------------------------------
+
+class _StubCluster:
+    """A hand-resolvable backend: submit() parks a Future the test
+    completes, so timing-sensitive front-end behavior is deterministic."""
+
+    def __init__(self):
+        self.pending = []
+
+    def submit(self, op, payload):
+        future = Future()
+        self.pending.append((op, payload, future))
+        return future
+
+    def resolve(self, index=0, **extra):
+        op, payload, future = self.pending.pop(index)
+        future.set_result({"city": payload.get("city", ""), "op": op,
+                           "error": None, **extra})
+
+
+async def _client(host, port):
+    return await asyncio.open_connection(host, port)
+
+
+async def _send_line(writer, payload):
+    writer.write(json.dumps(payload).encode() + b"\n")
+    await writer.drain()
+
+
+async def _read_line(reader, timeout=5.0):
+    line = await asyncio.wait_for(reader.readline(), timeout)
+    assert line, "connection closed unexpectedly"
+    return json.loads(line)
+
+
+class TestPackageServer:
+    def test_sheds_beyond_max_inflight_and_never_hangs(self):
+        async def scenario():
+            stub = _StubCluster()
+            server = PackageServer(stub, max_inflight=2)
+            host, port = await server.start(port=0)
+            reader, writer = await _client(host, port)
+
+            for i in range(4):  # pipelined, no responses yet
+                await _send_line(writer, {"op": "build", "id": i,
+                                          "request": {"city": "paris"}})
+            # Admission control answers the overflow immediately...
+            shed = [await _read_line(reader) for _ in range(2)]
+            assert {r["code"] for r in shed} == {ErrorCode.OVERLOADED.value}
+            assert {r["id"] for r in shed} == {2, 3}
+            assert server.inflight == 2
+            assert len(stub.pending) == 2
+
+            # ...and the accepted two complete once the backend answers,
+            # later-resolved first: responses interleave by design.
+            stub.resolve(1)
+            second = await _read_line(reader)
+            assert second["id"] == 1 and second["error"] is None
+            stub.resolve(0)
+            first = await _read_line(reader)
+            assert first["id"] == 0
+
+            counters = server.stats()
+            assert counters["accepted"] == 2 and counters["shed"] == 2
+            assert counters["peak_inflight"] == 2
+            writer.close()
+            await writer.wait_closed()
+            await server.drain(timeout=1)
+
+        asyncio.run(scenario())
+
+    def test_bad_lines_get_structured_errors(self):
+        async def scenario():
+            stub = _StubCluster()
+            server = PackageServer(stub)
+            host, port = await server.start(port=0)
+            reader, writer = await _client(host, port)
+
+            for line in (b"not json\n", b"[1, 2]\n",
+                         b'{"op": 7, "request": {}}\n',
+                         b'{"op": "mystery", "request": {}}\n'):
+                writer.write(line)
+            await writer.drain()
+            responses = [await _read_line(reader) for _ in range(4)]
+            assert all(r["code"] == ErrorCode.BAD_REQUEST.value
+                       for r in responses)
+            assert server.stats()["bad_lines"] == 3  # unknown op is parsed
+            writer.close()
+            await writer.wait_closed()
+            await server.drain(timeout=1)
+
+        asyncio.run(scenario())
+
+    def test_oversized_line_answered_not_dropped(self):
+        # Regression: a line over the stream limit used to raise an
+        # uncaught ValueError in the reader, killing the connection
+        # with no response and dropping in-flight replies.
+        from repro.service import server as server_module
+
+        async def scenario():
+            stub = _StubCluster()
+            server = PackageServer(stub, max_inflight=4)
+            host, port = await server.start(port=0)
+            reader, writer = await _client(host, port)
+            # One legitimate request first: its reply is owed even
+            # after the read loop dies on the oversized line.
+            await _send_line(writer, {"op": "build", "id": "owed",
+                                      "request": {"city": "paris"}})
+            while not stub.pending:
+                await asyncio.sleep(0.01)
+            giant = b'{"op": "build", "request": {"pad": "' \
+                + b"x" * (server_module.MAX_LINE_BYTES + 1024) + b'"}}\n'
+            writer.write(giant)
+            await writer.drain()
+            stub.resolve(0)
+            responses = [await _read_line(reader, timeout=10)
+                         for _ in range(2)]
+            by_id = {r.get("id"): r for r in responses}
+            assert by_id["owed"]["error"] is None
+            assert by_id[None]["code"] == ErrorCode.BAD_REQUEST.value
+            assert "exceeds" in by_id[None]["error"]
+            assert (await reader.read()) == b""  # clean close after
+            await server.drain(timeout=1)
+
+        asyncio.run(scenario())
+
+    def test_bare_build_request_line_back_compat(self):
+        async def scenario():
+            stub = _StubCluster()
+            server = PackageServer(stub)
+            host, port = await server.start(port=0)
+            reader, writer = await _client(host, port)
+            # PR-1 json-lines format: a BuildRequest dict, no envelope.
+            await _send_line(writer, {"city": "paris",
+                                      "group_spec": {"size": 3}})
+            while not stub.pending:
+                await asyncio.sleep(0.01)
+            op, payload, _ = stub.pending[0]
+            assert op == "build"
+            assert payload == {"city": "paris", "group_spec": {"size": 3}}
+            stub.resolve(0)
+            assert (await _read_line(reader))["error"] is None
+            writer.close()
+            await writer.wait_closed()
+            await server.drain(timeout=1)
+
+        asyncio.run(scenario())
+
+    def test_drain_finishes_inflight_then_closes(self):
+        async def scenario():
+            stub = _StubCluster()
+            server = PackageServer(stub, max_inflight=4)
+            host, port = await server.start(port=0)
+            reader, writer = await _client(host, port)
+            await _send_line(writer, {"op": "build", "id": "slow",
+                                      "request": {"city": "paris"}})
+            while not stub.pending:
+                await asyncio.sleep(0.01)
+
+            drain = asyncio.create_task(server.drain(timeout=5))
+            await asyncio.sleep(0.05)
+            assert not drain.done()  # waiting on the in-flight request
+
+            # New work during drain is shed, not queued.
+            await _send_line(writer, {"op": "build", "id": "late",
+                                      "request": {"city": "paris"}})
+            responses = {}
+            stub.resolve(0)
+            for _ in range(2):
+                response = await _read_line(reader)
+                responses[response["id"]] = response
+            assert responses["slow"]["error"] is None
+            assert responses["late"]["code"] == ErrorCode.OVERLOADED.value
+            await drain
+            assert (await reader.read()) == b""  # server closed the conn
+
+        asyncio.run(scenario())
+
+    def test_stdin_mode_serves_envelopes(self, cluster, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("\n".join([
+            json.dumps({"op": "build", "request": spec_payload("paris")}),
+            "",
+            json.dumps({"op": "stats"}),
+        ]) + "\n")
+        out = tmp_path / "responses.jsonl"
+
+        async def scenario():
+            server = PackageServer(cluster)
+            with requests.open() as stdin, out.open("w") as stdout:
+                return await serve_stdin(server, stdin=stdin, stdout=stdout)
+
+        assert asyncio.run(scenario()) == 2
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert lines[0]["error"] is None and lines[0]["city"] == "paris"
+        assert "server" in lines[1] and len(lines[1]["shards"]) == 2
+
+    def test_validation(self, cluster):
+        with pytest.raises(ValueError):
+            PackageServer(cluster, max_inflight=0)
+
+
+# -- the load generator --------------------------------------------------------
+
+class TestLoadgen:
+    def test_workload_is_deterministic(self):
+        config = LoadgenConfig(actions=40, seed=9)
+        first = build_workload(config)
+        second = build_workload(config)
+        assert ([json.dumps(a.envelope or a.open_envelope, sort_keys=True)
+                 for a in first]
+                == [json.dumps(a.envelope or a.open_envelope, sort_keys=True)
+                    for a in second])
+        assert first != build_workload(LoadgenConfig(actions=40, seed=10))
+
+    def test_workload_respects_mix_and_passes(self):
+        config = LoadgenConfig(actions=30, seed=1, passes=2,
+                               mix=(("cold", 1.0),))
+        workload = build_workload(config)
+        assert len(workload) == 60
+        assert all(a.kind == "cold" for a in workload)
+        # Every cold spec seed is unique within a pass, repeated across
+        # passes (that is what makes pass 2 a cache study).
+        seeds = [a.envelope["request"]["group_spec"]["seed"]
+                 for a in workload]
+        assert len(set(seeds)) == 30
+        assert seeds[:30] == seeds[30:]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadgenConfig(cities=())
+        with pytest.raises(ValueError):
+            LoadgenConfig(actions=0)
+        with pytest.raises(ValueError):
+            LoadgenConfig(mix=(("tsunami", 1.0),))
+        with pytest.raises(ValueError):
+            LoadgenConfig(mix=(("cold", 0.0), ("warm", 0.0)))
+        with pytest.raises(ValueError):
+            LoadgenConfig(mix=(("cold", -1.0), ("warm", 2.0)))
+
+    def test_run_sync_against_cluster(self, cluster):
+        config = LoadgenConfig(actions=14, seed=2,
+                               cities=("paris", "barcelona"))
+        report = run_sync(cluster.dispatch, build_workload(config))
+        assert report.sent >= 14  # sessions add edit/close responses
+        assert report.errors == 0 and report.shed == 0
+        assert report.ok > 0
+        assert set(report.by_kind) <= {"cold", "warm", "batch", "session",
+                                       "session_edit", "session_close"}
+
+    def test_run_tcp_against_live_server(self, cluster):
+        config = LoadgenConfig(actions=12, seed=6,
+                               cities=("paris", "barcelona"))
+        workload = build_workload(config)
+
+        async def scenario():
+            server = PackageServer(cluster, max_inflight=16)
+            host, port = await server.start(port=0)
+            try:
+                return await run_tcp(host, port, workload, connections=3)
+            finally:
+                await server.drain(timeout=2)
+
+        report = asyncio.run(scenario())
+        assert report.errors == 0 and report.shed == 0
+        assert report.by_kind["cold"] + report.by_kind["warm"] >= 1
+        assert report.throughput > 0

@@ -264,6 +264,22 @@ class TestSessions:
             poi_id=opened.package[0].pois[0].id,
         )).ok
 
+    def test_session_table_is_bounded(self, registry, spec_request):
+        service = PackageService(registry, cache_capacity=8, max_sessions=2)
+        first = service.open_session(spec_request)
+        second = service.open_session(BuildRequest(
+            city="paris", group_spec=GroupSpec(size=4, seed=8)))
+        assert first.ok and second.ok
+        shed = service.open_session(BuildRequest(
+            city="paris", group_spec=GroupSpec(size=4, seed=9)))
+        assert not shed.ok
+        assert shed.code == "overloaded"
+        assert service.open_sessions == 2
+        # Closing a session frees a slot.
+        service.close_session(first.session_id)
+        assert service.open_session(BuildRequest(
+            city="paris", group_spec=GroupSpec(size=4, seed=9))).ok
+
     def test_unknown_session(self, service):
         response = service.apply(CustomizeRequest(
             session_id="nope", op=CustomizeOp.REMOVE, poi_id=1,
@@ -347,6 +363,130 @@ class TestJsonLinesDriver:
         assert payloads[0]["request_id"] == "a" and not payloads[0]["cached"]
         assert "bad request line" in payloads[1]["error"]
         assert payloads[2]["request_id"] == "a-again" and payloads[2]["cached"]
+
+
+class TestDispatch:
+    """The picklable wire entry point the shard workers funnel through."""
+
+    def test_build_via_dispatch(self, service, spec_request):
+        response = service.dispatch("build", spec_request.to_dict())
+        assert response["error"] is None
+        assert response["city"] == "paris"
+        assert PackageResponse.from_dict(response).package.is_valid()
+
+    def test_session_lifecycle_via_dispatch(self, service, spec_request):
+        opened = service.dispatch("open_session", spec_request.to_dict())
+        sid = opened["session_id"]
+        assert sid
+        victim = opened["package"]["composite_items"][0]["pois"][-1]
+        edited = service.dispatch("customize", {
+            "session_id": sid, "op": "remove", "ci_index": 0,
+            "poi_id": victim["id"],
+        })
+        assert edited["error"] is None
+        closed = service.dispatch("close_session", {"session_id": sid})
+        assert [i["kind"] for i in closed["interactions"]] == ["remove"]
+        again = service.dispatch("close_session", {"session_id": sid})
+        assert again["code"] == "unknown_session"
+
+    def test_batch_and_stats_and_ping(self, service, spec_request):
+        assert service.dispatch("ping", {}) == {"ok": True}
+        result = service.dispatch("batch",
+                                  {"requests": [spec_request.to_dict()] * 2})
+        assert all(r["error"] is None for r in result["responses"])
+        # Identical in-flight requests race (no coalescing), but a
+        # later single build must hit what the batch cached.
+        followup = service.dispatch("build", spec_request.to_dict())
+        assert followup["cached"] is True
+        stats = service.dispatch("stats", {})
+        assert stats["cache"]["hits"] >= 1
+
+    def test_warmup(self, service):
+        warmed = service.dispatch("warmup", {"cities": ["paris"]})
+        assert "paris" in warmed["cities"]
+
+    def test_every_listed_op_is_handled(self, service):
+        # DISPATCH_OPS is what the TCP front-end admits; dispatch()
+        # must actually handle each one (bad-payload errors are fine,
+        # falling through to "unknown operation" is the divergence
+        # this test pins down).
+        for op in PackageService.DISPATCH_OPS:
+            response = service.dispatch(op, {})
+            error = response.get("error") or ""
+            assert "unknown operation" not in error, op
+
+    def test_malformed_payloads_become_bad_request_responses(self, service):
+        for op, payload in [
+            ("build", {}),                          # no city
+            ("build", {"city": "paris"}),           # no group form
+            ("batch", {}),                          # no requests key
+            ("customize", {"op": "remove"}),        # no session_id
+            ("close_session", {}),                  # no session_id
+            ("teleport", {}),                       # unknown op
+        ]:
+            response = service.dispatch(op, payload)
+            assert response["error"] is not None, (op, payload)
+            assert response["code"] == "bad_request"
+
+    def test_error_codes_classify_failures(self, service, spec_request):
+        not_found = service.dispatch("build", {
+            "city": "atlantis", "group_spec": {"size": 3}})
+        assert not_found["code"] == "not_found"
+        invalid = service.dispatch("build", {
+            "city": "paris", "group_spec": {"size": 3},
+            "query": {"counts": {"acco": 500}}})
+        assert invalid["code"] == "invalid"
+
+
+class TestDeterminism:
+    def test_identical_builds_across_fresh_registries(self):
+        """Two registries built from scratch with one seed must serve
+        byte-identical responses -- the guarantee that lets the shard
+        layer route a city to *any* worker that fits it with the same
+        config.  Only the wall-clock field may differ."""
+        def serve_one():
+            registry = CityRegistry(seed=13, scale=0.3, lda_iterations=25)
+            service = PackageService(registry)
+            request = BuildRequest(city="paris",
+                                   group_spec=GroupSpec(size=4, seed=3),
+                                   seed=2)
+            payload = service.build(request).to_dict()
+            assert payload["error"] is None
+            payload.pop("latency_ms")
+            return json.dumps(payload, sort_keys=True)
+
+        assert serve_one() == serve_one()
+
+
+class TestRegistryFailureHygiene:
+    def test_failed_entry_leaves_no_poisoned_lock(self):
+        registry = CityRegistry(scale=0.3, lda_iterations=20)
+        with pytest.raises(KeyError):
+            registry.entry("atlantis")
+        # Regression: the per-city lock slot must not outlive the
+        # failure -- client-controlled names would leak a Lock each.
+        assert "atlantis" not in registry._city_locks
+        assert registry.loaded() == ()
+
+    def test_failed_register_leaves_no_trace_and_is_retryable(self, app):
+        from repro.data.dataset import POIDataset
+
+        registry = CityRegistry(scale=0.3, lda_iterations=20)
+        empty = POIDataset(city="ghost", pois=[])
+        with pytest.raises(ValueError, match="empty"):
+            registry.register(empty)
+        assert "ghost" not in registry._city_locks
+        assert "ghost" not in registry.available()
+
+        # The name is not poisoned: a valid dataset registers fine.
+        entry = registry.register(app.dataset, app.item_index, name="ghost")
+        assert entry.name == "ghost"
+        assert "ghost" in registry.loaded()
+        assert "ghost" in registry._city_locks  # kept while entry lives
+
+    def test_successful_load_keeps_its_lock(self, registry):
+        # The lock for a loaded city stays (it guards re-registration).
+        assert "paris" in registry._city_locks
 
 
 class TestObservability:

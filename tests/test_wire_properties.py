@@ -1,0 +1,333 @@
+"""Property-based wire-format guarantees.
+
+For every schema type crossing the service boundary,
+``from_dict(json.loads(json.dumps(to_dict(x)))) == x`` must hold under
+*generated* inputs, not just the handful of examples in
+``test_serialization.py`` -- the sharded serving tier ships these dicts
+between processes and over TCP, so any lossy corner silently corrupts
+traffic.  Reject-tests pin down that malformed payloads raise
+(``ValueError``/``KeyError``/``TypeError``), never half-construct.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.customize import Interaction, InteractionKind
+from repro.core.objective import ObjectiveWeights
+from repro.core.package import TravelPackage
+from repro.core.composite import CompositeItem
+from repro.core.query import GroupQuery
+from repro.data.poi import CATEGORIES, POI, Category
+from repro.profiles.consensus import ConsensusMethod
+from repro.profiles.group import GroupProfile
+from repro.profiles.schema import ProfileSchema
+from repro.profiles.user import UserProfile
+from repro.service.schema import (
+    BuildRequest,
+    CustomizeOp,
+    CustomizeRequest,
+    ErrorCode,
+    GroupSpec,
+    PackageResponse,
+)
+
+#: Shared example budget: these are pure-python round trips (no LDA, no
+#: clustering), so a moderate budget keeps the suite quick while still
+#: exploring the space.
+WIRE_SETTINGS = settings(max_examples=25, deadline=None)
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+names = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=12
+)
+
+
+def roundtrip(obj):
+    """Through the *actual* wire: a JSON string, not just dicts."""
+    return type(obj).from_dict(json.loads(json.dumps(obj.to_dict())))
+
+
+# -- strategies ---------------------------------------------------------------
+
+categories = st.sampled_from(list(Category))
+
+
+@st.composite
+def pois(draw, poi_id=None):
+    return POI(
+        id=draw(st.integers(0, 10**6)) if poi_id is None else poi_id,
+        name=draw(names),
+        cat=draw(categories),
+        lat=draw(st.floats(-90.0, 90.0)),
+        lon=draw(st.floats(-180.0, 180.0)),
+        type=draw(names),
+        tags=tuple(draw(st.lists(names, max_size=3))),
+        cost=draw(st.floats(0.0, 1e6)),
+    )
+
+
+@st.composite
+def queries(draw):
+    counts = draw(st.dictionaries(categories, st.integers(0, 5), min_size=1))
+    if sum(counts.values()) == 0:
+        counts[draw(categories)] = draw(st.integers(1, 5))
+    budget = draw(st.one_of(st.just(math.inf), st.floats(0.0, 1e6)))
+    return GroupQuery(counts=counts, budget=budget)
+
+
+weights_strategy = st.builds(
+    ObjectiveWeights,
+    alpha=st.floats(0.0, 100.0),
+    beta=st.floats(0.0, 100.0),
+    gamma=st.floats(0.0, 100.0),
+    fuzzifier=st.floats(1.1, 5.0),
+)
+
+group_specs = st.builds(
+    GroupSpec,
+    size=st.integers(1, 50),
+    uniform=st.booleans(),
+    seed=st.integers(0, 2**31),
+    method=st.sampled_from([m.value for m in ConsensusMethod]),
+    w1=st.one_of(st.none(), st.floats(0.0, 1.0)),
+)
+
+schemas = st.builds(ProfileSchema.with_topic_counts,
+                    st.integers(1, 6), st.integers(1, 6))
+
+
+@st.composite
+def group_profiles(draw):
+    schema = draw(schemas)
+    vectors = {
+        cat: np.asarray(draw(st.lists(st.floats(0.0, 2.0),
+                                      min_size=schema.size(cat),
+                                      max_size=schema.size(cat))))
+        for cat in CATEGORIES
+    }
+    return GroupProfile(schema, vectors)
+
+
+@st.composite
+def user_profiles(draw):
+    schema = draw(schemas)
+    vectors = {
+        cat: np.asarray(draw(st.lists(st.floats(0.0, 1.0),
+                                      min_size=schema.size(cat),
+                                      max_size=schema.size(cat))))
+        for cat in CATEGORIES
+    }
+    return UserProfile(schema, vectors)
+
+
+@st.composite
+def packages(draw):
+    cis = [
+        CompositeItem(draw(st.lists(pois(), max_size=3,
+                                    unique_by=lambda p: p.id)),
+                      centroid=(draw(st.floats(-90, 90)),
+                                draw(st.floats(-180, 180))))
+        for _ in range(draw(st.integers(1, 3)))
+    ]
+    return TravelPackage(cis, query=draw(st.one_of(st.none(), queries())))
+
+
+@st.composite
+def interactions(draw):
+    return Interaction(
+        kind=draw(st.sampled_from(list(InteractionKind))),
+        added=tuple(draw(st.lists(pois(), max_size=2))),
+        removed=tuple(draw(st.lists(pois(), max_size=2))),
+        ci_index=draw(st.integers(0, 20)),
+        actor=draw(st.one_of(st.none(), st.integers(0, 100))),
+    )
+
+
+@st.composite
+def build_requests(draw):
+    explicit = draw(st.booleans())
+    return BuildRequest(
+        city=draw(names.filter(bool)),
+        query=draw(queries()),
+        profile=draw(group_profiles()) if explicit else None,
+        group_spec=None if explicit else draw(group_specs),
+        weights=draw(st.one_of(st.none(), weights_strategy)),
+        k=draw(st.one_of(st.none(), st.integers(1, 10))),
+        seed=draw(st.one_of(st.none(), st.integers(0, 2**31))),
+        request_id=draw(st.one_of(st.none(), names)),
+    )
+
+
+@st.composite
+def customize_requests(draw):
+    op = draw(st.sampled_from(list(CustomizeOp)))
+    needs_poi = op in (CustomizeOp.REMOVE, CustomizeOp.REPLACE)
+    return CustomizeRequest(
+        session_id=draw(names.filter(bool)),
+        op=op,
+        ci_index=draw(st.integers(0, 10)),
+        poi_id=draw(st.integers(0, 10**6)) if needs_poi else None,
+        add_poi_id=(draw(st.integers(0, 10**6))
+                    if op is CustomizeOp.ADD else None),
+        replacement_id=(draw(st.one_of(st.none(), st.integers(0, 10**6)))
+                        if op is CustomizeOp.REPLACE else None),
+        rect=((draw(st.floats(-90, 90)), draw(st.floats(-180, 180)),
+               draw(st.floats(0, 10)), draw(st.floats(0, 10)))
+              if op is CustomizeOp.GENERATE else None),
+        actor=draw(st.one_of(st.none(), st.integers(0, 100))),
+        request_id=draw(st.one_of(st.none(), names)),
+    )
+
+
+@st.composite
+def package_responses(draw):
+    failed = draw(st.booleans())
+    return PackageResponse(
+        city=draw(names),
+        package=None if failed else draw(packages()),
+        cached=draw(st.booleans()),
+        latency_ms=draw(st.floats(0.0, 1e5)),
+        metrics=draw(st.dictionaries(names, st.one_of(finite, st.none(),
+                                                      st.booleans()),
+                                     max_size=4)),
+        session_id=draw(st.one_of(st.none(), names.filter(bool))),
+        request_id=draw(st.one_of(st.none(), names)),
+        error=draw(names.filter(bool)) if failed else None,
+        code=(draw(st.sampled_from([c.value for c in ErrorCode]))
+              if failed else None),
+        shard=draw(st.one_of(st.none(), st.integers(0, 64))),
+    )
+
+
+def assert_profiles_equal(a, b):
+    assert a.schema == b.schema
+    for cat in CATEGORIES:
+        assert np.array_equal(a.vector(cat), b.vector(cat))
+
+
+# -- round trips --------------------------------------------------------------
+
+class TestRoundTrips:
+    @WIRE_SETTINGS
+    @given(poi=pois())
+    def test_poi(self, poi):
+        assert roundtrip(poi) == poi
+
+    @WIRE_SETTINGS
+    @given(query=queries())
+    def test_query(self, query):
+        assert roundtrip(query) == query
+
+    @WIRE_SETTINGS
+    @given(weights=weights_strategy)
+    def test_weights(self, weights):
+        assert roundtrip(weights) == weights
+
+    @WIRE_SETTINGS
+    @given(spec=group_specs)
+    def test_group_spec(self, spec):
+        assert roundtrip(spec) == spec
+
+    @WIRE_SETTINGS
+    @given(profile=group_profiles())
+    def test_group_profile(self, profile):
+        assert_profiles_equal(roundtrip(profile), profile)
+
+    @WIRE_SETTINGS
+    @given(profile=user_profiles())
+    def test_user_profile(self, profile):
+        assert_profiles_equal(roundtrip(profile), profile)
+
+    @WIRE_SETTINGS
+    @given(interaction=interactions())
+    def test_interaction(self, interaction):
+        assert roundtrip(interaction) == interaction
+
+    @WIRE_SETTINGS
+    @given(package=packages())
+    def test_package(self, package):
+        back = roundtrip(package)
+        assert back.query == package.query
+        assert [ci.to_dict() for ci in back] == [ci.to_dict()
+                                                 for ci in package]
+
+    @WIRE_SETTINGS
+    @given(request=build_requests())
+    def test_build_request(self, request):
+        back = roundtrip(request)
+        assert back.city == request.city
+        assert back.query == request.query
+        assert back.group_spec == request.group_spec
+        assert back.weights == request.weights
+        assert (back.k, back.seed, back.request_id) == (
+            request.k, request.seed, request.request_id)
+        if request.profile is None:
+            assert back.profile is None
+        else:
+            assert_profiles_equal(back.profile, request.profile)
+
+    @WIRE_SETTINGS
+    @given(request=customize_requests())
+    def test_customize_request(self, request):
+        assert roundtrip(request) == request
+
+    @WIRE_SETTINGS
+    @given(response=package_responses())
+    def test_package_response(self, response):
+        back = roundtrip(response)
+        assert back.to_dict() == response.to_dict()
+        assert back.ok == response.ok
+
+
+# -- reject-tests -------------------------------------------------------------
+
+#: (type, payload) pairs that must raise, not half-construct.
+MALFORMED = [
+    (BuildRequest, {}),                                  # no city at all
+    (BuildRequest, {"city": "paris"}),                   # neither group form
+    (BuildRequest, {"city": "paris",                     # both group forms
+                    "group_spec": {"size": 3},
+                    "profile": GroupProfile(
+                        ProfileSchema.with_topic_counts(2, 2),
+                        {c: np.zeros(ProfileSchema.with_topic_counts(2, 2)
+                                     .size(c)) for c in CATEGORIES}
+                    ).to_dict()}),
+    (BuildRequest, {"city": "", "group_spec": {"size": 3}}),
+    (BuildRequest, {"city": "paris", "group_spec": {"size": 0}}),
+    (BuildRequest, {"city": "paris", "group_spec": {"size": 3,
+                                                    "method": "nope"}}),
+    (BuildRequest, {"city": "paris", "group_spec": {"size": 3},
+                    "query": {"counts": {"acco": -1}}}),
+    (BuildRequest, {"city": "paris", "group_spec": {"size": 3},
+                    "query": {"counts": {"castle": 2}}}),  # unknown category
+    (BuildRequest, {"city": "paris", "group_spec": {"size": 3},
+                    "query": {"counts": {}}}),             # zero-item query
+    (CustomizeRequest, {"session_id": "s1"}),              # no op
+    (CustomizeRequest, {"session_id": "s1", "op": "explode"}),
+    (CustomizeRequest, {"session_id": "s1", "op": "remove"}),   # no poi_id
+    (CustomizeRequest, {"session_id": "s1", "op": "add"}),      # no add id
+    (CustomizeRequest, {"session_id": "s1", "op": "generate"}), # no rect
+    (CustomizeRequest, {"session_id": "s1", "op": "generate",
+                        "rect": [1.0, 2.0]}),              # short rect
+    (PackageResponse, {}),                                 # no city
+    (PackageResponse, {"city": "paris", "error": "boom",
+                       "code": "not-a-code"}),
+    (PackageResponse, {"city": "paris", "code": "failed"}),  # code, no error
+    (GroupSpec, {"size": -2}),
+    (Interaction, {"added": []}),                          # no kind
+    (Interaction, {"kind": "detonate"}),
+    (GroupQuery, {"counts": {"rest": "many"}}),
+    (ObjectiveWeights, {"alpha": -1.0}),
+]
+
+
+@pytest.mark.parametrize("wire_type,payload", MALFORMED,
+                         ids=lambda p: getattr(p, "__name__", None))
+def test_malformed_payloads_raise(wire_type, payload):
+    with pytest.raises((ValueError, KeyError, TypeError)):
+        wire_type.from_dict(payload)
