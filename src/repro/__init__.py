@@ -25,9 +25,10 @@ architecture overview; ``repro.experiments`` reproduces the paper's
 tables and figures.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.core import (
+    CityArrays,
     CompositeItem,
     DEFAULT_QUERY,
     GroupQuery,
@@ -40,6 +41,7 @@ from repro.data import POIDataset, generate_city
 from repro.profiles import ConsensusMethod, Group, GroupGenerator, UserProfile
 
 __all__ = [
+    "CityArrays",
     "CompositeItem",
     "ConsensusMethod",
     "DEFAULT_QUERY",

@@ -11,6 +11,8 @@ Public surface:
   :class:`~repro.core.package.TravelPackage`;
 * :class:`~repro.core.kfc.KFCBuilder` -- the fuzzy-clustering TP
   constructor optimizing Equation 1;
+* :class:`~repro.core.arrays.CityArrays` -- the per-city precomputed
+  array bundle every build scores against;
 * :class:`~repro.core.builder.GroupTravel` -- the one-stop facade;
 * :mod:`repro.core.baselines` -- random / invalid / non-personalized /
   median-user packages for the evaluation;
@@ -19,6 +21,7 @@ Public surface:
 * :mod:`repro.core.refine` -- individual and batch profile refinement.
 """
 
+from repro.core.arrays import CityArrays
 from repro.core.baselines import (
     invalid_random_package,
     non_personalized_package,
@@ -34,6 +37,7 @@ from repro.core.query import DEFAULT_QUERY, GroupQuery
 from repro.core.refine import refine_batch, refine_individual
 
 __all__ = [
+    "CityArrays",
     "CompositeItem",
     "CustomizationSession",
     "DEFAULT_QUERY",

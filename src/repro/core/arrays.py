@@ -1,0 +1,298 @@
+"""Per-city precomputed array bundles: the compute layer.
+
+Every Travel-Package build repeats work that depends only on the city,
+never on the query: stacking lat/lon arrays per category, gathering
+item vectors into matrices, computing vector norms, projecting
+coordinates into the local km plane, sorting category pools by cost.
+:class:`CityArrays` materializes all of it **once per
+(dataset, item index) pair** -- the same precompute-for-query-answering
+move as OBDA's exact mappings or bitmap-join-index selection: pay at
+registration time, serve every request from contiguous arrays.
+
+The bundle is frozen and picklable, so shard workers can receive (or
+rebuild) it intact, and it is *purely a representation*: every array is
+built with exactly the operations the object-path code performs per
+call, so scoring against the bundle is bit-for-bit identical to scoring
+against the ``POI`` objects (the golden determinism tests in
+``tests/test_core_arrays.py`` pin this).
+
+Contents, all row-aligned with the dataset's iteration order:
+
+* ``ids`` / ``lats`` / ``lons`` / ``costs`` -- city-wide columns;
+* ``xy`` / ``origin`` -- the local equirectangular projection the KFC
+  builder and fuzzy c-means run in (km east/north of the city centre);
+* ``max_distance_km`` -- the paper's distance normalizer;
+* per-category :class:`CategoryArrays` -- the same columns restricted
+  to one category (in ``dataset.by_category`` order) plus the stacked
+  item-vector matrix, precomputed row norms and the cost-sorted
+  candidate order the budget-repair phase needs;
+* ``cell_buckets`` -- :class:`~repro.geo.grid.SpatialGrid`-derived
+  candidate buckets (grid cell -> row indices) for spatial prefilters.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import POIDataset
+from repro.data.poi import CATEGORIES, Category
+from repro.profiles.vectors import ItemVectorIndex
+
+#: Kilometres per degree of latitude (constant over the sphere); shared
+#: with :mod:`repro.geo.grid` and the KFC builder.
+_KM_PER_DEG_LAT = 111.195
+
+#: Grid cell edge used for the candidate buckets; matches
+#: :class:`~repro.geo.grid.SpatialGrid`'s default so bucket membership
+#: agrees with ``dataset.grid``.
+_CELL_KM = 0.5
+
+
+# -- the local equirectangular projection -------------------------------------
+#
+# Moved here from KFCBuilder so the projection is computed once per city
+# and shared by everything that needs km-plane geometry.  The formulas
+# are unchanged, so projected values are bit-identical to the seed.
+
+def project_coords(coords: np.ndarray) -> tuple[np.ndarray, tuple[float, float, float]]:
+    """Project ``(lat, lon)`` rows to local km-space (x east, y north).
+
+    Returns the projected ``(n, 2)`` array and the ``(lat0, lon0,
+    cos0)`` origin needed to project further points consistently.
+    """
+    lat0 = float(coords[:, 0].mean())
+    lon0 = float(coords[:, 1].mean())
+    cos0 = float(np.cos(np.radians(lat0)))
+    x = (coords[:, 1] - lon0) * _KM_PER_DEG_LAT * cos0
+    y = (coords[:, 0] - lat0) * _KM_PER_DEG_LAT
+    return np.column_stack([x, y]), (lat0, lon0, cos0)
+
+
+def project_points(latlon: np.ndarray,
+                   origin: tuple[float, float, float]) -> np.ndarray:
+    """Project arbitrary ``(lat, lon)`` rows with a known origin."""
+    lat0, lon0, cos0 = origin
+    x = (latlon[:, 1] - lon0) * _KM_PER_DEG_LAT * cos0
+    y = (latlon[:, 0] - lat0) * _KM_PER_DEG_LAT
+    return np.column_stack([x, y])
+
+
+def unproject_points(xy: np.ndarray,
+                     origin: tuple[float, float, float]) -> np.ndarray:
+    """Inverse of :func:`project_points`, returning ``(lat, lon)`` rows."""
+    lat0, lon0, cos0 = origin
+    lat = lat0 + xy[:, 1] / _KM_PER_DEG_LAT
+    lon = lon0 + xy[:, 0] / (_KM_PER_DEG_LAT * cos0)
+    return np.column_stack([lat, lon])
+
+
+@dataclass(frozen=True)
+class CategoryArrays:
+    """One category's contiguous columns, in ``by_category`` order.
+
+    Attributes:
+        category: The category the rows belong to.
+        ids: ``(n,)`` POI ids.
+        rows: ``(n,)`` indices into the city-wide arrays.
+        lats, lons, costs: ``(n,)`` per-POI columns.
+        vectors: ``(n, d)`` stacked item-vector matrix (the profile
+            coordinate system for this category).
+        vector_norms: ``(n,)`` precomputed row norms of ``vectors``.
+        cost_order: ``(n,)`` row order sorted by ``(cost, id)`` -- the
+            cheapest-first candidate order the budget paths use.
+    """
+
+    category: Category
+    ids: np.ndarray
+    rows: np.ndarray
+    lats: np.ndarray
+    lons: np.ndarray
+    costs: np.ndarray
+    vectors: np.ndarray
+    vector_norms: np.ndarray
+    cost_order: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+
+@dataclass(frozen=True)
+class CityArrays:
+    """The frozen per-city bundle (see the module docstring).
+
+    Build with :meth:`build`, or :meth:`of` to share one bundle per
+    ``(dataset, item_index)`` pair process-wide.
+    """
+
+    city: str
+    ids: np.ndarray
+    lats: np.ndarray
+    lons: np.ndarray
+    costs: np.ndarray
+    xy: np.ndarray
+    origin: tuple[float, float, float]
+    max_distance_km: float
+    categories: dict[Category, CategoryArrays]
+    row_of: dict[int, int]
+    cell_km: float
+    cell_buckets: dict[tuple[int, int], np.ndarray]
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, dataset: POIDataset,
+              item_index: ItemVectorIndex) -> "CityArrays":
+        """Materialize the bundle for one dataset / item-vector pair.
+
+        The coordinate matrix and projection reuse the exact code paths
+        of the per-call implementations (``dataset.coordinates()`` and
+        the former ``KFCBuilder._project``), so downstream arithmetic is
+        bit-identical to the object path.
+        """
+        coords = dataset.coordinates()
+        pois = list(dataset)
+        ids = np.array([p.id for p in pois], dtype=np.int64)
+        costs = np.array([p.cost for p in pois], dtype=float)
+        if coords.size:
+            lats = np.ascontiguousarray(coords[:, 0])
+            lons = np.ascontiguousarray(coords[:, 1])
+            xy, origin = project_coords(coords)
+        else:
+            lats = np.empty(0)
+            lons = np.empty(0)
+            xy = np.empty((0, 2))
+            origin = (0.0, 0.0, 1.0)
+        row_of = {int(poi_id): row for row, poi_id in enumerate(ids)}
+
+        categories: dict[Category, CategoryArrays] = {}
+        for cat in CATEGORIES:
+            cat_pois = dataset.by_category(cat)
+            cat_ids = np.array([p.id for p in cat_pois], dtype=np.int64)
+            cat_rows = np.array([row_of[p.id] for p in cat_pois],
+                                dtype=np.int64)
+            # Stack item vectors exactly as ItemVectorIndex.matrix()
+            # does per call, one time.
+            vectors = item_index.stacked(
+                (p.id for p in cat_pois),
+                dim=item_index.schema.size(cat),
+            )
+            cat_lats = np.array([p.lat for p in cat_pois], dtype=float)
+            cat_lons = np.array([p.lon for p in cat_pois], dtype=float)
+            cat_costs = np.array([p.cost for p in cat_pois], dtype=float)
+            categories[cat] = CategoryArrays(
+                category=cat,
+                ids=cat_ids,
+                rows=cat_rows,
+                lats=cat_lats,
+                lons=cat_lons,
+                costs=cat_costs,
+                vectors=vectors,
+                vector_norms=np.linalg.norm(vectors, axis=1),
+                cost_order=np.lexsort((cat_ids, cat_costs)),
+            )
+
+        return cls(
+            city=dataset.city,
+            ids=ids,
+            lats=lats,
+            lons=lons,
+            costs=costs,
+            xy=xy,
+            origin=origin,
+            max_distance_km=dataset.max_distance_km,
+            categories=categories,
+            row_of=row_of,
+            cell_km=_CELL_KM,
+            cell_buckets=_cell_buckets(lats, lons, _CELL_KM),
+        )
+
+    @classmethod
+    def of(cls, dataset: POIDataset,
+           item_index: ItemVectorIndex) -> "CityArrays":
+        """The pooled bundle for a ``(dataset, item_index)`` pair.
+
+        Keyed by object identity through weak references, so repeated
+        callers (assembly, objective evaluation, customization) share
+        one bundle and dropping the dataset or index frees it.
+        """
+        per_index = _POOL.get(item_index)
+        if per_index is None:
+            per_index = weakref.WeakKeyDictionary()
+            _POOL[item_index] = per_index
+        arrays = per_index.get(dataset)
+        if arrays is None:
+            arrays = cls.build(dataset, item_index)
+            per_index[dataset] = arrays
+        return arrays
+
+    # -- views -------------------------------------------------------------
+
+    def category(self, category: Category | str) -> CategoryArrays:
+        """One category's columns."""
+        return self.categories[Category.parse(category)]
+
+    def rows_for(self, poi_ids) -> np.ndarray:
+        """City-wide row indices for an iterable of POI ids.
+
+        Raises ``KeyError`` for ids outside the dataset.
+        """
+        return np.array([self.row_of[int(i)] for i in poi_ids],
+                        dtype=np.int64)
+
+    # -- grid-derived candidate buckets ------------------------------------
+
+    def bucket_of(self, lat: float, lon: float) -> tuple[int, int]:
+        """The grid cell a point falls in (same cell geometry as
+        :class:`~repro.geo.grid.SpatialGrid`)."""
+        row = int(np.floor(lat * _KM_PER_DEG_LAT / self.cell_km))
+        km_per_deg_lon = _KM_PER_DEG_LAT * max(
+            np.cos(np.radians(lat)), 1e-9
+        )
+        col = int(np.floor(lon * km_per_deg_lon / self.cell_km))
+        return (row, col)
+
+    def rows_near(self, lat: float, lon: float, rings: int = 1) -> np.ndarray:
+        """Row indices of POIs within ``rings`` grid cells (Chebyshev)
+        of a point -- a cheap spatial prefilter for neighbourhood
+        queries that do not need exact k-NN semantics."""
+        row0, col0 = self.bucket_of(lat, lon)
+        chunks = [
+            self.cell_buckets[(r, c)]
+            for r in range(row0 - rings, row0 + rings + 1)
+            for c in range(col0 - rings, col0 + rings + 1)
+            if (r, c) in self.cell_buckets
+        ]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+
+def _cell_buckets(lats: np.ndarray, lons: np.ndarray,
+                  cell_km: float) -> dict[tuple[int, int], np.ndarray]:
+    """Bucket every row by its SpatialGrid cell, vectorized."""
+    if lats.size == 0:
+        return {}
+    cell_rows = np.floor(lats * _KM_PER_DEG_LAT / cell_km).astype(np.int64)
+    km_per_deg_lon = _KM_PER_DEG_LAT * np.maximum(
+        np.cos(np.radians(lats)), 1e-9
+    )
+    cell_cols = np.floor(lons * km_per_deg_lon / cell_km).astype(np.int64)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for row, (r, c) in enumerate(zip(cell_rows, cell_cols)):
+        buckets.setdefault((int(r), int(c)), []).append(row)
+    return {cell: np.array(rows, dtype=np.int64)
+            for cell, rows in buckets.items()}
+
+
+#: Process-wide bundle pool: item_index -> dataset -> CityArrays, all
+#: weakly referenced so serving stacks share one bundle per city and
+#: nothing outlives its dataset.
+_POOL: "weakref.WeakKeyDictionary[ItemVectorIndex, weakref.WeakKeyDictionary[POIDataset, CityArrays]]" = (
+    weakref.WeakKeyDictionary()
+)

@@ -17,6 +17,20 @@ given up.  Greedy-with-repair is exact when the budget is slack (the
 experiments run with an infinite budget) and a strong heuristic when it
 binds; a final cheapest-fill fallback guarantees we find *a* valid CI
 whenever one exists.
+
+Two scoring back-ends share that strategy:
+
+* the **array path** -- when a :class:`~repro.core.arrays.CityArrays`
+  bundle is supplied, each category is scored with one matrix-vector
+  product and one vectorized distance pass over the precomputed
+  contiguous arrays; the candidate pool is cut with a partition +
+  lexsort (preserving the exact ``(-score, id)`` order), and POI
+  objects are materialized only for the members of the final
+  :class:`~repro.core.composite.CompositeItem`;
+* the **object path** -- :func:`score_candidates` over the ``POI``
+  objects, kept as the reference implementation.  Both paths produce
+  bit-identical CIs (pinned by the golden tests and the speedup gate
+  in ``benchmarks/bench_core.py``).
 """
 
 from __future__ import annotations
@@ -25,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.arrays import CategoryArrays, CityArrays
 from repro.core.composite import CompositeItem
 from repro.core.query import GroupQuery
 from repro.data.dataset import POIDataset
@@ -59,6 +74,10 @@ def score_candidates(pois: tuple[POI, ...], centroid: tuple[float, float],
 
     ``score = beta * (1 - dist_norm) + gamma * cos(item, g_cat)`` --
     exactly the per-item contribution of Equation 1's CI term.
+
+    This is the object-path reference implementation; the array path
+    computes the same totals from a precomputed
+    :class:`~repro.core.arrays.CityArrays` bundle.
     """
     if not pois:
         return []
@@ -83,11 +102,108 @@ def score_candidates(pois: tuple[POI, ...], centroid: tuple[float, float],
     return [_Candidate(poi=poi, score=float(s)) for poi, s in zip(pois, total)]
 
 
+# -- the array scoring path ---------------------------------------------------
+
+def _array_scores(ca: CategoryArrays, centroid: tuple[float, float],
+                  profile_vec: np.ndarray, beta: float, gamma: float,
+                  max_distance_km: float) -> np.ndarray:
+    """Per-row scores for one category: one distance pass plus one
+    matrix-vector product over the precomputed arrays.  Operation for
+    operation the same arithmetic as :func:`score_candidates`, so the
+    totals are bit-identical."""
+    dist = equirectangular_km(ca.lats, ca.lons, centroid[0], centroid[1])
+    if max_distance_km > 0:
+        dist = dist / max_distance_km
+    closeness = 1.0 - np.clip(dist, 0.0, 1.0)
+
+    norm_g = float(np.linalg.norm(profile_vec))
+    if norm_g == 0.0:
+        sims = np.zeros(len(ca))
+    else:
+        norms = ca.vector_norms
+        safe = np.where(norms == 0.0, 1.0, norms)
+        sims = (ca.vectors @ profile_vec) / (safe * norm_g)
+        sims[norms == 0.0] = 0.0
+    return beta * closeness + gamma * sims
+
+
+def _top_rows(total: np.ndarray, ids: np.ndarray, pool: int) -> np.ndarray:
+    """The ``pool`` best rows in exact ``(-score, id)`` order.
+
+    A partition cuts the field down to the rows that can reach the top
+    ``pool`` (everything scoring at least the ``pool``-th best value,
+    so score ties at the boundary stay in contention), then a lexsort
+    applies the id tie-break -- the same total order the object path
+    gets from sorting ``(-score, poi.id)`` tuples.
+    """
+    n = total.shape[0]
+    if pool <= 0 or n == 0:
+        return np.empty(0, dtype=np.int64)
+    if n > pool:
+        threshold = np.partition(total, n - pool)[n - pool]
+        keep = np.flatnonzero(total >= threshold)
+    else:
+        keep = np.arange(n)
+    order = keep[np.lexsort((ids[keep], -total[keep]))]
+    return order[:pool]
+
+
+def _pool_from_arrays(dataset: POIDataset, ca: CategoryArrays,
+                      centroid: tuple[float, float], profile: GroupProfile,
+                      beta: float, gamma: float, max_distance_km: float,
+                      candidate_pool: int, needed: int,
+                      has_budget: bool) -> list[_Candidate]:
+    """One category's candidate pool, scored from the arrays.
+
+    Without a budget only the ``needed`` greedy winners are ever used,
+    so only those POI objects are materialized; under a budget the full
+    pool (top scorers plus the precomputed cheapest rows) is built for
+    the repair phase.
+    """
+    total = _array_scores(ca, centroid, profile.vector(ca.category),
+                          beta, gamma, max_distance_km)
+    top = _top_rows(total, ca.ids, candidate_pool)
+    if not has_budget:
+        top = top[:needed]
+    pool = [_Candidate(poi=dataset[int(ca.ids[r])], score=float(total[r]))
+            for r in top]
+    if has_budget:
+        # Keep cheap candidates reachable for the repair phase, in the
+        # precomputed (cost, id) order.
+        seen = {int(ca.ids[r]) for r in top}
+        for r in ca.cost_order[:candidate_pool]:
+            poi_id = int(ca.ids[r])
+            if poi_id not in seen:
+                pool.append(_Candidate(poi=dataset[poi_id],
+                                       score=float(total[r])))
+    return pool
+
+
+def _pool_from_objects(dataset: POIDataset, cat: Category,
+                       centroid: tuple[float, float], profile: GroupProfile,
+                       item_index: ItemVectorIndex, beta: float, gamma: float,
+                       candidate_pool: int,
+                       has_budget: bool) -> list[_Candidate]:
+    """One category's candidate pool via the object-path reference."""
+    pois = dataset.by_category(cat)
+    scored = score_candidates(pois, centroid, profile, item_index,
+                              beta, gamma, dataset.max_distance_km)
+    scored.sort(key=lambda c: (-c.score, c.poi.id))
+    pool = scored[:candidate_pool]
+    if has_budget:
+        # Keep cheap candidates reachable for the repair phase.
+        cheapest = sorted(scored, key=lambda c: (c.cost, c.poi.id))[:candidate_pool]
+        seen = {c.poi.id for c in pool}
+        pool += [c for c in cheapest if c.poi.id not in seen]
+    return pool
+
+
 def assemble_composite_item(dataset: POIDataset, centroid: tuple[float, float],
                             query: GroupQuery, profile: GroupProfile,
                             item_index: ItemVectorIndex,
                             beta: float = 1.0, gamma: float = 1.0,
-                            candidate_pool: int = 60) -> CompositeItem:
+                            candidate_pool: int = 60,
+                            arrays: CityArrays | None = None) -> CompositeItem:
     """Build the best valid CI around ``centroid``.
 
     Args:
@@ -100,28 +216,41 @@ def assemble_composite_item(dataset: POIDataset, centroid: tuple[float, float],
         candidate_pool: Per category, only the top-scoring (and, under a
             finite budget, the cheapest) candidates of this many are
             considered -- a large pool at city scale, bounded for speed.
+        arrays: Optional precomputed per-city bundle; when given, every
+            category is scored against its contiguous arrays instead of
+            the POI objects (bit-identical results, several times
+            faster).
 
     Raises:
         InfeasibleQueryError: If no valid CI exists for this query.
     """
-    per_category: dict[Category, list[_Candidate]] = {}
-    for cat in query.requested_categories():
+    # Validate every requested category up front: an empty or
+    # undersized category must raise before *any* scoring work (no
+    # profile-vector reads, no distance passes for earlier categories).
+    requested = query.requested_categories()
+    for cat in requested:
         needed = query.count(cat)
-        pois = dataset.by_category(cat)
-        if len(pois) < needed:
+        have = (len(arrays.categories[cat]) if arrays is not None
+                else len(dataset.by_category(cat)))
+        if have < needed:
             raise InfeasibleQueryError(
                 f"query needs {needed} {cat.value} POIs but the dataset "
-                f"has only {len(pois)}"
+                f"has only {have}"
             )
-        scored = score_candidates(pois, centroid, profile, item_index,
-                                  beta, gamma, dataset.max_distance_km)
-        scored.sort(key=lambda c: (-c.score, c.poi.id))
-        pool = scored[:candidate_pool]
-        if query.has_budget:
-            # Keep cheap candidates reachable for the repair phase.
-            cheapest = sorted(scored, key=lambda c: (c.cost, c.poi.id))[:candidate_pool]
-            seen = {c.poi.id for c in pool}
-            pool += [c for c in cheapest if c.poi.id not in seen]
+
+    per_category: dict[Category, list[_Candidate]] = {}
+    for cat in requested:
+        if arrays is not None:
+            pool = _pool_from_arrays(
+                dataset, arrays.categories[cat], centroid, profile,
+                beta, gamma, arrays.max_distance_km, candidate_pool,
+                query.count(cat), query.has_budget,
+            )
+        else:
+            pool = _pool_from_objects(
+                dataset, cat, centroid, profile, item_index, beta, gamma,
+                candidate_pool, query.has_budget,
+            )
         per_category[cat] = pool
 
     # Cheapest conforming selection bounds feasibility.
@@ -155,14 +284,43 @@ def _repair_budget(selected: dict[Category, list[_Candidate]],
     fits the budget.
 
     Each round applies the swap saving the most cost per unit of score
-    lost.  Terminates: every swap strictly reduces total cost, and the
-    cheapest conforming selection (already verified feasible) is
-    reachable through such swaps.
+    lost.  Terminates: every swap strictly reduces the affected slot's
+    cost through its pool's at most ``len(pool)`` distinct values, so
+    ``sum(count(cat) * len(pool))`` passes suffice; the explicit bound
+    is a guard against pathological inputs, after which the cheapest
+    conforming selection (already verified feasible) is installed
+    outright.  The cost-sorted pools that fallback needs are computed
+    once up front, not inside the swap loop.
     """
+    cheapest_pools: dict[Category, list[_Candidate]] = {
+        cat: sorted(pool, key=lambda c: (c.cost, c.poi.id))
+        for cat, pool in per_category.items()
+    }
+
+    def cheapest_fill() -> None:
+        """Install the cheapest conforming selection (known feasible)."""
+        for cat, cheapest in cheapest_pools.items():
+            picked: list[_Candidate] = []
+            used: set[int] = set()
+            for cand in cheapest:
+                if cand.poi.id not in used:
+                    picked.append(cand)
+                    used.add(cand.poi.id)
+                if len(picked) == query.count(cat):
+                    break
+            selected[cat] = picked
+
     def total_cost() -> float:
         return sum(c.cost for pool in selected.values() for c in pool)
 
+    max_passes = sum(query.count(cat) * len(pool)
+                     for cat, pool in per_category.items())
+    passes = 0
     while total_cost() > query.budget:
+        if passes >= max_passes:
+            cheapest_fill()
+            return
+        passes += 1
         best: tuple[float, Category, int, _Candidate] | None = None
         for cat, chosen in selected.items():
             chosen_ids = {c.poi.id for c in chosen}
@@ -178,17 +336,7 @@ def _repair_budget(selected: dict[Category, list[_Candidate]],
         if best is None:
             # No cheaper alternative anywhere: fall back to the cheapest
             # conforming selection outright (known feasible).
-            for cat, pool in per_category.items():
-                cheapest = sorted(pool, key=lambda c: (c.cost, c.poi.id))
-                picked: list[_Candidate] = []
-                used: set[int] = set()
-                for cand in cheapest:
-                    if cand.poi.id not in used:
-                        picked.append(cand)
-                        used.add(cand.poi.id)
-                    if len(picked) == query.count(cat):
-                        break
-                selected[cat] = picked
+            cheapest_fill()
             return
         _, cat, slot, alt = best
         selected[cat][slot] = alt

@@ -54,6 +54,9 @@ class GroupTravel:
         self.weights = weights
         self.kfc = KFCBuilder(dataset, self.item_index, weights=weights,
                               k=k, seed=seed)
+        # The per-city precompute the builder scored against; shared
+        # with customization sessions and objective evaluation.
+        self.arrays = self.kfc.arrays
 
     @property
     def schema(self) -> ProfileSchema:
@@ -91,7 +94,7 @@ class GroupTravel:
         return CustomizationSession(
             package=package, dataset=self.dataset, profile=profile,
             item_index=self.item_index, beta=self.weights.beta,
-            gamma=self.weights.gamma,
+            gamma=self.weights.gamma, arrays=self.arrays,
         )
 
     def refine_profile_batch(self, profile: GroupProfile,
@@ -113,4 +116,5 @@ class GroupTravel:
                         profile: GroupProfile) -> float:
         """Equation 1's value for a package under this system's weights."""
         return evaluate_objective(self.dataset, package, profile,
-                                  self.item_index, self.weights)
+                                  self.item_index, self.weights,
+                                  arrays=self.arrays)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.core.arrays import CityArrays
 from repro.core.assembly import assemble_composite_item
 from repro.core.package import TravelPackage
 from repro.core.query import GroupQuery
@@ -98,6 +99,10 @@ class CustomizationSession:
             personalized.
         item_index: Item vectors matching the profile schema.
         beta, gamma: Equation 1 CI-term weights for GENERATE.
+        arrays: Optional precomputed
+            :class:`~repro.core.arrays.CityArrays` bundle; GENERATE
+            scores against it when present (the serving layers always
+            pass the pooled per-city bundle).
     """
 
     package: TravelPackage
@@ -106,6 +111,7 @@ class CustomizationSession:
     item_index: ItemVectorIndex
     beta: float = 1.0
     gamma: float = 1.0
+    arrays: CityArrays | None = None
     interactions: list[Interaction] = field(default_factory=list)
 
     # -- operators -------------------------------------------------------------
@@ -191,7 +197,7 @@ class CustomizationSession:
             raise ValueError("GENERATE needs a query (none stored on the package)")
         ci = assemble_composite_item(
             self.dataset, rect.center, q, self.profile, self.item_index,
-            beta=self.beta, gamma=self.gamma,
+            beta=self.beta, gamma=self.gamma, arrays=self.arrays,
         )
         self.package = self.package.appending(ci)
         new_index = self.package.k - 1

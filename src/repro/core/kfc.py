@@ -28,7 +28,12 @@ coverage (representativity) and compactness (cohesiveness).
 
 Coordinates are processed in a local equirectangular projection (km
 east/north of the city centre) so Euclidean geometry inside FCM matches
-the distance function used everywhere else.
+the distance function used everywhere else.  The projection -- along
+with every other query-independent structure the build needs -- lives
+in the shared :class:`~repro.core.arrays.CityArrays` bundle, built once
+per city instead of once per builder; pass ``use_arrays=False`` to fall
+back to the per-call object path (the reference implementation the
+benchmarks compare against).
 """
 
 from __future__ import annotations
@@ -36,6 +41,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.clustering.fuzzy_cmeans import FuzzyCMeans
+from repro.core.arrays import (
+    CityArrays,
+    project_coords,
+    project_points,
+    unproject_points,
+)
 from repro.core.assembly import assemble_composite_item
 from repro.core.composite import CompositeItem
 from repro.core.objective import ObjectiveWeights, fuzzy_memberships
@@ -44,8 +55,6 @@ from repro.core.query import GroupQuery
 from repro.data.dataset import POIDataset
 from repro.profiles.group import GroupProfile
 from repro.profiles.vectors import ItemVectorIndex
-
-_KM_PER_DEG_LAT = 111.195
 
 
 class KFCBuilder:
@@ -60,12 +69,22 @@ class KFCBuilder:
         candidate_pool: Candidate cap per category handed to assembly.
         refine_iterations: Alternating assembly/recenter rounds after
             the FCM seeding.
+        arrays: Precomputed per-city bundle to build against.  When
+            omitted (the common path) the process-wide pooled bundle
+            for ``(dataset, item_index)`` is used, so several builders
+            over one city share one precompute.
+        use_arrays: Set to ``False`` to skip the bundle entirely and
+            score POI objects per call -- the seed behaviour, kept as
+            the reference implementation for equivalence tests and the
+            cold-build speedup benchmark.
     """
 
     def __init__(self, dataset: POIDataset, item_index: ItemVectorIndex,
                  weights: ObjectiveWeights = ObjectiveWeights(),
                  k: int = 5, seed: int = 0, candidate_pool: int = 60,
-                 refine_iterations: int = 2) -> None:
+                 refine_iterations: int = 2,
+                 arrays: CityArrays | None = None,
+                 use_arrays: bool = True) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
         if refine_iterations < 0:
@@ -77,8 +96,16 @@ class KFCBuilder:
         self.seed = seed
         self.candidate_pool = candidate_pool
         self.refine_iterations = refine_iterations
-        self._coords = dataset.coordinates()
-        self._projected, self._origin = self._project(self._coords)
+        if arrays is None and use_arrays:
+            arrays = CityArrays.of(dataset, item_index)
+        self.arrays = arrays
+        if arrays is not None:
+            self._projected = arrays.xy
+            self._origin = arrays.origin
+        else:
+            self._projected, self._origin = project_coords(
+                dataset.coordinates()
+            )
         # FCM seeding depends only on (k, seed), never on the profile or
         # query, so sweeps building thousands of packages over one city
         # reuse the solution.
@@ -86,29 +113,13 @@ class KFCBuilder:
 
     # -- coordinate projection -------------------------------------------------
 
-    @staticmethod
-    def _project(coords: np.ndarray) -> tuple[np.ndarray, tuple[float, float, float]]:
-        """Project ``(lat, lon)`` to local km-space (x east, y north)."""
-        lat0 = float(coords[:, 0].mean())
-        lon0 = float(coords[:, 1].mean())
-        cos0 = float(np.cos(np.radians(lat0)))
-        x = (coords[:, 1] - lon0) * _KM_PER_DEG_LAT * cos0
-        y = (coords[:, 0] - lat0) * _KM_PER_DEG_LAT
-        return np.column_stack([x, y]), (lat0, lon0, cos0)
-
     def _project_points(self, latlon: np.ndarray) -> np.ndarray:
         """Project arbitrary ``(lat, lon)`` rows with the dataset's origin."""
-        lat0, lon0, cos0 = self._origin
-        x = (latlon[:, 1] - lon0) * _KM_PER_DEG_LAT * cos0
-        y = (latlon[:, 0] - lat0) * _KM_PER_DEG_LAT
-        return np.column_stack([x, y])
+        return project_points(latlon, self._origin)
 
     def _unproject(self, xy: np.ndarray) -> np.ndarray:
-        """Inverse of :meth:`_project`, returning ``(lat, lon)`` rows."""
-        lat0, lon0, cos0 = self._origin
-        lat = lat0 + xy[:, 1] / _KM_PER_DEG_LAT
-        lon = lon0 + xy[:, 0] / (_KM_PER_DEG_LAT * cos0)
-        return np.column_stack([lat, lon])
+        """Inverse of :meth:`_project_points`, returning ``(lat, lon)`` rows."""
+        return unproject_points(xy, self._origin)
 
     # -- the algorithm ------------------------------------------------------------
 
@@ -137,10 +148,29 @@ class KFCBuilder:
             assemble_composite_item(
                 self.dataset, (float(lat), float(lon)), query, profile,
                 self.item_index, beta=weights.beta, gamma=weights.gamma,
-                candidate_pool=self.candidate_pool,
+                candidate_pool=self.candidate_pool, arrays=self.arrays,
             )
             for lat, lon in centroids
         ]
+
+    def _ci_xy_sum(self, ci: CompositeItem) -> np.ndarray:
+        """Summed projected coordinates of a CI's members.
+
+        Reads the shared projected rows when every member is in the
+        bundle (the build path always is); falls back to projecting the
+        member coordinates directly (e.g. a customization session that
+        introduced out-of-dataset POIs).
+        """
+        if self.arrays is not None:
+            try:
+                rows = self.arrays.rows_for(p.id for p in ci.pois)
+            except KeyError:
+                rows = None
+            if rows is not None:
+                return self.arrays.xy[rows].sum(axis=0)
+        return self._project_points(
+            np.array([[p.lat, p.lon] for p in ci.pois])
+        ).sum(axis=0)
 
     def _recenter(self, centroids: np.ndarray, cis: list[CompositeItem],
                   weights: ObjectiveWeights) -> np.ndarray:
@@ -162,12 +192,10 @@ class KFCBuilder:
                 fcm_pull = cent_xy[j]
             # An empty CI (possible after whole-CI deletion in a
             # customization session) contributes no beta pull; guarding
-            # here also keeps np.array([]) from reaching _project_points
+            # here also keeps np.array([]) from reaching the projection
             # as a 1-D array.
             if ci.pois:
-                ci_xy_sum = self._project_points(
-                    np.array([[p.lat, p.lon] for p in ci.pois])
-                ).sum(axis=0)
+                ci_xy_sum = self._ci_xy_sum(ci)
             else:
                 ci_xy_sum = np.zeros(2)
             ci_weight = weights.beta * len(ci.pois)

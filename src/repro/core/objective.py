@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.arrays import CityArrays
 from repro.core.package import TravelPackage
 from repro.data.dataset import POIDataset
 from repro.geo.distance import equirectangular_km
@@ -90,16 +91,28 @@ def fuzzy_memberships(distances: np.ndarray, fuzzifier: float = 2.0) -> np.ndarr
 
 
 def normalized_distances_to_centroids(dataset: POIDataset,
-                                      centroids: np.ndarray) -> np.ndarray:
+                                      centroids: np.ndarray,
+                                      arrays: CityArrays | None = None) -> np.ndarray:
     """``(n_items, k)`` equirectangular distances scaled by the dataset's
-    largest pairwise distance (the paper's normalizer)."""
-    coords = dataset.coordinates()
+    largest pairwise distance (the paper's normalizer).
+
+    With a :class:`~repro.core.arrays.CityArrays` bundle the coordinate
+    columns and the normalizer come from the precompute instead of
+    being rebuilt from the POI objects (same values, same result).
+    """
     cents = np.asarray(centroids, dtype=float)
+    if arrays is not None:
+        lats = arrays.lats[:, None]
+        lons = arrays.lons[:, None]
+        largest = arrays.max_distance_km
+    else:
+        coords = dataset.coordinates()
+        lats = coords[:, 0][:, None]
+        lons = coords[:, 1][:, None]
+        largest = dataset.max_distance_km
     dist = equirectangular_km(
-        coords[:, 0][:, None], coords[:, 1][:, None],
-        cents[:, 0][None, :], cents[:, 1][None, :],
+        lats, lons, cents[:, 0][None, :], cents[:, 1][None, :],
     )
-    largest = dataset.max_distance_km
     if largest > 0:
         dist = dist / largest
     return np.clip(dist, 0.0, None)
@@ -107,15 +120,19 @@ def normalized_distances_to_centroids(dataset: POIDataset,
 
 def evaluate_objective(dataset: POIDataset, package: TravelPackage,
                        profile: GroupProfile, item_index: ItemVectorIndex,
-                       weights: ObjectiveWeights = ObjectiveWeights()) -> float:
+                       weights: ObjectiveWeights = ObjectiveWeights(),
+                       arrays: CityArrays | None = None) -> float:
     """The value of Equation 1 for a candidate package.
 
     The membership matrix ``W`` is reconstructed from the package's
     centroids with the standard FCM update (the optimal ``W`` for fixed
-    ``M``), so the score depends only on the package itself.
+    ``M``), so the score depends only on the package itself.  Passing
+    the city's :class:`~repro.core.arrays.CityArrays` avoids rebuilding
+    the coordinate matrix for the clustering term.
     """
     centroids = package.centroids()
-    dist = normalized_distances_to_centroids(dataset, centroids)
+    dist = normalized_distances_to_centroids(dataset, centroids,
+                                             arrays=arrays)
     closeness = 1.0 - np.clip(dist, 0.0, 1.0)
 
     memberships = fuzzy_memberships(dist, weights.fuzzifier)
@@ -123,7 +140,8 @@ def evaluate_objective(dataset: POIDataset, package: TravelPackage,
         ((memberships ** weights.fuzzifier) * closeness).sum()
     )
 
-    largest = dataset.max_distance_km
+    largest = (arrays.max_distance_km if arrays is not None
+               else dataset.max_distance_km)
     ci_term = 0.0
     for j, ci in enumerate(package.composite_items):
         mu_lat, mu_lon = ci.centroid

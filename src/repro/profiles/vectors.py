@@ -166,3 +166,28 @@ class ItemVectorIndex:
         if len(cats) > 1:
             raise ValueError(f"matrix() requires a single category, got {cats}")
         return np.vstack([self.vector(p) for p in pois])
+
+    def stacked(self, poi_ids, dim: int | None = None) -> np.ndarray:
+        """Stack the stored vectors for an iterable of POI ids into an
+        ``(n, d)`` matrix, without per-row defensive copies.
+
+        This is the bulk accessor behind the precomputed full matrix in
+        :class:`~repro.core.arrays.CityArrays`: the rows are stacked
+        exactly as :meth:`matrix` stacks them, one time, instead of per
+        scoring call.
+
+        Args:
+            poi_ids: Ids whose vectors to stack; all must share one
+                dimensionality (i.e. one category).
+            dim: Column count for the empty result when ``poi_ids`` is
+                empty (``matrix()`` rejects that case; bulk callers need
+                a well-shaped ``(0, d)``).
+        """
+        ids = [poi_id if isinstance(poi_id, int) else int(poi_id)
+               for poi_id in poi_ids]
+        if not ids:
+            return np.empty((0, dim or 0))
+        try:
+            return np.vstack([self._vectors[i] for i in ids])
+        except KeyError as exc:
+            raise KeyError(f"no item vector for POI id {exc.args[0]}") from None

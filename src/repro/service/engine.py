@@ -16,6 +16,11 @@ One service instance holds a :class:`~repro.service.registry.CityRegistry`
 Every entry point takes and returns the wire types of
 :mod:`repro.service.schema`; failures come back as error responses, not
 exceptions, so one bad request cannot poison a batch.
+
+Every build and customization session runs against the registry's
+per-city :class:`~repro.core.arrays.CityArrays` bundle (precomputed at
+registration), so cache-miss requests score contiguous arrays rather
+than re-deriving per-city constants from POI objects.
 """
 
 from __future__ import annotations
@@ -264,7 +269,7 @@ class PackageService:
         editor = CustomizationSession(
             package=response.package, dataset=entry.dataset, profile=profile,
             item_index=entry.item_index, beta=weights.beta,
-            gamma=weights.gamma,
+            gamma=weights.gamma, arrays=entry.arrays,
         )
         session_id = f"s{next(self._session_ids)}"
         with self._sessions_lock:

@@ -2,13 +2,16 @@
 
 The expensive artifacts behind every request are per-city and
 profile-independent: the POI dataset, the fitted
-:class:`~repro.profiles.vectors.ItemVectorIndex` (two LDA models) and
-the :class:`~repro.core.kfc.KFCBuilder` (whose FCM centroid seeds are
+:class:`~repro.profiles.vectors.ItemVectorIndex` (two LDA models), the
+:class:`~repro.core.arrays.CityArrays` compute bundle (contiguous
+coordinate/cost/item-vector arrays every build scores against) and the
+:class:`~repro.core.kfc.KFCBuilder` (whose FCM centroid seeds are
 cached inside the builder).  :class:`CityRegistry` materializes each of
 them exactly once per city -- lazily on first request, under a per-city
 lock so concurrent cold requests for one city do not fit LDA twice --
 and shares them across every request the service ever serves for that
-city.
+city.  Registration is where the array precompute is paid, so the
+request path touches only ready-made structures.
 
 Cities come from two places: any of the eight synthetic templates
 (:mod:`repro.data.cities`) generated on demand, or datasets registered
@@ -21,6 +24,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from threading import Lock
 
+from repro.core.arrays import CityArrays
 from repro.core.kfc import KFCBuilder
 from repro.core.objective import ObjectiveWeights
 from repro.data.cities import city_names
@@ -41,6 +45,7 @@ class CityEntry:
     name: str
     dataset: POIDataset
     item_index: ItemVectorIndex
+    arrays: CityArrays
     builder: KFCBuilder
 
     @property
@@ -138,12 +143,18 @@ class CityRegistry:
         index = item_index or ItemVectorIndex.fit(
             dataset, lda_iterations=self.lda_iterations, seed=self.seed
         )
+        # Registration-time precompute: every build for this city scores
+        # against these arrays instead of the POI objects.  ``of`` (not
+        # ``build``) so a pair already materialized elsewhere in the
+        # process (e.g. a harness-owned GroupTravel) is shared, not
+        # duplicated.
+        arrays = CityArrays.of(dataset, index)
         builder = KFCBuilder(
             dataset, index, weights=self.weights, k=self.k, seed=self.seed,
-            candidate_pool=self.candidate_pool,
+            candidate_pool=self.candidate_pool, arrays=arrays,
         )
         return CityEntry(name=city, dataset=dataset, item_index=index,
-                         builder=builder)
+                         arrays=arrays, builder=builder)
 
     def entry(self, city: str) -> CityEntry:
         """The pooled assets for ``city``, generating and fitting them
@@ -174,6 +185,9 @@ class CityRegistry:
 
     def builder(self, city: str) -> KFCBuilder:
         return self.entry(city).builder
+
+    def arrays(self, city: str) -> CityArrays:
+        return self.entry(city).arrays
 
     def schema(self, city: str) -> ProfileSchema:
         return self.entry(city).schema

@@ -4,9 +4,12 @@ A :class:`ShardCluster` runs ``n`` workers, each owning a **complete,
 private** serving stack -- its own
 :class:`~repro.service.registry.CityRegistry` and
 :class:`~repro.service.engine.PackageService` -- for the cities routed
-to it.  The expensive per-city assets (LDA item vectors, FCM centroid
-seeds, the package cache) are therefore fit **once, inside the owning
-worker**, and never cross the process boundary; the only traffic
+to it.  The expensive per-city assets (LDA item vectors, the
+:class:`~repro.core.arrays.CityArrays` compute bundle, FCM centroid
+seeds, the package cache) are therefore built **once, inside the owning
+worker** -- each worker's private registry pays the array precompute at
+registration time, exactly like a single-process service -- and never
+cross the process boundary; the only traffic
 between front-end and workers is the picklable wire dicts of
 :meth:`~repro.service.engine.PackageService.dispatch`.
 
