@@ -154,12 +154,21 @@ class FuzzyCMeans:
 
         Points coinciding with a centroid get full membership there
         (split evenly if they coincide with several).
+
+        Evaluated per centroid over ``(n, k)`` ratio slices -- the same
+        elementwise operations and last-axis sums as the ``(n, k, k)``
+        broadcast, hence bit-identical output (golden-pinned centroids
+        depend on it), at ``O(n*k)`` peak memory.  This update runs
+        every alternation round, so the tensor was the dominant
+        allocation of an FCM fit on large cities.
         """
         sq = self._sq_distances(x, centroids)
         zero_rows = np.isclose(sq, 0.0).any(axis=1)
         safe = np.maximum(sq, 1e-300)
-        ratio = safe[:, :, None] / safe[:, None, :]
-        memberships = 1.0 / (ratio ** (exponent / 2.0)).sum(axis=2)
+        memberships = np.empty_like(safe)
+        for j in range(safe.shape[1]):
+            ratio = safe[:, j, None] / safe
+            memberships[:, j] = 1.0 / (ratio ** (exponent / 2.0)).sum(axis=1)
         if zero_rows.any():
             for i in np.flatnonzero(zero_rows):
                 hits = np.isclose(sq[i], 0.0)

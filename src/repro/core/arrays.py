@@ -231,6 +231,99 @@ class CityArrays:
             per_index[dataset] = arrays
         return arrays
 
+    # -- persistence --------------------------------------------------------
+
+    #: Per-category array fields, in the order they are exported.
+    _CATEGORY_FIELDS = ("ids", "rows", "lats", "lons", "costs", "vectors",
+                        "vector_norms", "cost_order")
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """Every array of the bundle under a flat string key -- the
+        payload an ``npz`` asset store writes.  Cell buckets are
+        flattened to ``(cells, rows, lens)`` triplets; ``row_of`` is
+        derivable from ``ids`` and not exported."""
+        payload: dict[str, np.ndarray] = {
+            "ids": self.ids, "lats": self.lats, "lons": self.lons,
+            "costs": self.costs, "xy": self.xy,
+        }
+        for cat, ca in self.categories.items():
+            for name in self._CATEGORY_FIELDS:
+                payload[f"cat__{cat.value}__{name}"] = getattr(ca, name)
+        cells = sorted(self.cell_buckets)
+        payload["bucket_cells"] = np.array(cells, dtype=np.int64).reshape(
+            len(cells), 2
+        )
+        payload["bucket_lens"] = np.array(
+            [len(self.cell_buckets[c]) for c in cells], dtype=np.int64
+        )
+        payload["bucket_rows"] = (
+            np.concatenate([self.cell_buckets[c] for c in cells])
+            if cells else np.empty(0, dtype=np.int64)
+        )
+        return payload
+
+    def export_meta(self) -> dict:
+        """The JSON-able scalars accompanying :meth:`export_arrays`."""
+        return {
+            "city": self.city,
+            "origin": list(self.origin),
+            "max_distance_km": self.max_distance_km,
+            "cell_km": self.cell_km,
+        }
+
+    @classmethod
+    def from_export(cls, payload, meta: dict) -> "CityArrays":
+        """Inverse of :meth:`export_arrays` / :meth:`export_meta`.
+
+        ``payload`` is any mapping of the exported keys to arrays (a
+        live ``np.load`` handle works).  Raises ``KeyError`` /
+        ``ValueError`` on missing or malformed entries, which asset
+        stores treat as corruption.
+        """
+        ids = np.asarray(payload["ids"], dtype=np.int64)
+        categories: dict[Category, CategoryArrays] = {}
+        for cat in CATEGORIES:
+            fields = {name: np.asarray(payload[f"cat__{cat.value}__{name}"])
+                      for name in cls._CATEGORY_FIELDS}
+            categories[cat] = CategoryArrays(category=cat, **fields)
+        cells = np.asarray(payload["bucket_cells"], dtype=np.int64)
+        lens = np.asarray(payload["bucket_lens"], dtype=np.int64)
+        rows = np.asarray(payload["bucket_rows"], dtype=np.int64)
+        if int(lens.sum()) != rows.shape[0] or cells.shape[0] != lens.shape[0]:
+            raise ValueError("cell-bucket arrays are inconsistent")
+        buckets: dict[tuple[int, int], np.ndarray] = {}
+        offset = 0
+        for (r, c), length in zip(cells, lens):
+            buckets[(int(r), int(c))] = rows[offset:offset + int(length)]
+            offset += int(length)
+        origin = meta["origin"]
+        return cls(
+            city=str(meta["city"]),
+            ids=ids,
+            lats=np.asarray(payload["lats"], dtype=float),
+            lons=np.asarray(payload["lons"], dtype=float),
+            costs=np.asarray(payload["costs"], dtype=float),
+            xy=np.asarray(payload["xy"], dtype=float),
+            origin=(float(origin[0]), float(origin[1]), float(origin[2])),
+            max_distance_km=float(meta["max_distance_km"]),
+            categories=categories,
+            row_of={int(poi_id): row for row, poi_id in enumerate(ids)},
+            cell_km=float(meta["cell_km"]),
+            cell_buckets=buckets,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of every array in the bundle (residency
+        accounting for registry eviction)."""
+        total = (self.ids.nbytes + self.lats.nbytes + self.lons.nbytes
+                 + self.costs.nbytes + self.xy.nbytes)
+        for ca in self.categories.values():
+            total += sum(getattr(ca, name).nbytes
+                         for name in self._CATEGORY_FIELDS)
+        total += sum(rows.nbytes for rows in self.cell_buckets.values())
+        return total
+
     # -- views -------------------------------------------------------------
 
     def category(self, category: Category | str) -> CategoryArrays:

@@ -74,6 +74,17 @@ def fuzzy_memberships(distances: np.ndarray, fuzzifier: float = 2.0) -> np.ndarr
 
     ``w_ij = 1 / sum_l (d_ij / d_il)^(2/(m-1))``; rows sum to one.
     Items coinciding with a centroid get full membership there.
+
+    The ratio sums are evaluated one centroid at a time over ``(n, k)``
+    slices, so peak memory is ``O(n*k)`` instead of the ``(n, k, k)``
+    tensor a broadcast materializes -- the difference between 20 MB and
+    2 GB of transient allocation on a 10x city.  Each slice performs
+    exactly the operations (division, power, last-axis pairwise sum)
+    the tensor form performs on its ``[:, j, :]`` plane, so the result
+    is **bit-identical** to the broadcast implementation; the cheaper
+    algebraic form ``d_ij^-e / sum_l d_il^-e`` is *not* (it perturbs
+    low-order bits, which the golden package fixtures would catch as
+    centroid drift) and is deliberately avoided.
     """
     if fuzzifier <= 1.0:
         raise ValueError("fuzzifier must be > 1")
@@ -81,8 +92,10 @@ def fuzzy_memberships(distances: np.ndarray, fuzzifier: float = 2.0) -> np.ndarr
     zero_rows = np.isclose(d, 0.0).any(axis=1)
     safe = np.maximum(d, 1e-300)
     exponent = 2.0 / (fuzzifier - 1.0)
-    ratio = safe[:, :, None] / safe[:, None, :]
-    memberships = 1.0 / (ratio ** exponent).sum(axis=2)
+    memberships = np.empty_like(safe)
+    for j in range(safe.shape[1]):
+        ratio = safe[:, j, None] / safe
+        memberships[:, j] = 1.0 / (ratio ** exponent).sum(axis=1)
     if zero_rows.any():
         for i in np.flatnonzero(zero_rows):
             hits = np.isclose(d[i], 0.0)

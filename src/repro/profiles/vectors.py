@@ -27,6 +27,12 @@ from repro.topics.lda import LatentDirichletAllocation
 #: Categories whose vectors come from LDA topic distributions.
 _TOPIC_CATEGORIES = (Category.RESTAURANT, Category.ATTRACTION)
 
+#: Rare-tag pruning threshold for the LDA corpora.  Shared by
+#: :meth:`ItemVectorIndex.fit` and :meth:`ItemVectorIndex.restore` so a
+#: corpus rebuilt from a persisted dataset is the corpus that was
+#: fitted.
+_CORPUS_MIN_COUNT = 2
+
 
 class ItemVectorIndex:
     """Per-POI item vectors over a fitted profile schema.
@@ -86,7 +92,8 @@ class ItemVectorIndex:
             if not pois:
                 dimensions[cat] = tuple(f"{cat.value}-topic-{i}" for i in range(n_topics))
                 continue
-            corpus = TagCorpus([p.tags for p in pois], min_count=2)
+            corpus = TagCorpus([p.tags for p in pois],
+                               min_count=_CORPUS_MIN_COUNT)
             lda = LatentDirichletAllocation(
                 n_topics=n_topics, alpha=lda_alpha,
                 n_iterations=lda_iterations, seed=seed,
@@ -134,6 +141,70 @@ class ItemVectorIndex:
                         list(poi.tags), seed=seed + offset
                     )
         return cls(source.schema, vectors, dict(source._topic_models))
+
+    # -- persistence ----------------------------------------------------------
+
+    def category_vectors(self, dataset: POIDataset) -> dict[Category, tuple[np.ndarray, np.ndarray]]:
+        """Per-category ``(ids, matrix)`` pairs covering every POI of
+        ``dataset``, in ``by_category`` order -- the columnar form the
+        asset store persists."""
+        out: dict[Category, tuple[np.ndarray, np.ndarray]] = {}
+        for cat in CATEGORIES:
+            pois = dataset.by_category(cat)
+            ids = np.array([p.id for p in pois], dtype=np.int64)
+            matrix = self.stacked((p.id for p in pois),
+                                  dim=self.schema.size(cat))
+            out[cat] = (ids, matrix)
+        return out
+
+    def topic_model_states(self) -> dict[Category, dict]:
+        """Fitted sampler state per topic-modelled category (see
+        :meth:`~repro.topics.lda.LatentDirichletAllocation.state`)."""
+        return {cat: lda.state() for cat, lda in self._topic_models.items()}
+
+    @classmethod
+    def restore(cls, dataset: POIDataset, schema: ProfileSchema,
+                category_vectors: dict[Category, tuple[np.ndarray, np.ndarray]],
+                topic_states: dict[Category, dict]) -> "ItemVectorIndex":
+        """Rebuild a fitted index from persisted state.
+
+        The LDA corpora are reconstructed from ``dataset`` (tag bags and
+        pruning are deterministic in the dataset, which itself
+        round-trips through JSON byte-exactly), so only the count
+        matrices travel on disk.  The restored index serves the same
+        vector bytes as the index that was persisted.
+        """
+        vectors: dict[int, np.ndarray] = {}
+        for cat in CATEGORIES:
+            ids, matrix = category_vectors[cat]
+            if len(ids) != matrix.shape[0]:
+                raise ValueError(
+                    f"category {cat}: {len(ids)} ids vs "
+                    f"{matrix.shape[0]} vector rows"
+                )
+            for poi_id, row in zip(ids, matrix):
+                vectors[int(poi_id)] = np.array(row, dtype=float)
+        missing = [p.id for p in dataset if p.id not in vectors]
+        if missing:
+            raise ValueError(f"no persisted vectors for POI ids {missing[:5]}")
+        topic_models: dict[Category, LatentDirichletAllocation] = {}
+        for cat, state in topic_states.items():
+            pois = dataset.by_category(cat)
+            corpus = TagCorpus([p.tags for p in pois],
+                               min_count=_CORPUS_MIN_COUNT)
+            topic_models[cat] = LatentDirichletAllocation.restore(
+                corpus, **state
+            )
+        return cls(schema, vectors, topic_models)
+
+    def nbytes(self) -> int:
+        """Estimated resident bytes of the vectors and topic models."""
+        total = sum(v.nbytes for v in self._vectors.values())
+        for lda in self._topic_models.values():
+            state = lda.state()
+            total += sum(a.nbytes for a in state.values()
+                         if isinstance(a, np.ndarray))
+        return total
 
     def vector(self, poi: POI | int) -> np.ndarray:
         """The item vector for a POI (by object or id)."""

@@ -29,7 +29,7 @@ from repro.service.cache import PackageCache, cache_key, profile_fingerprint
 from repro.service.engine import PackageService, UnknownSessionError
 from repro.service.loadgen import LoadgenConfig, LoadgenReport, build_workload
 from repro.service.metrics import ServiceMetrics, merge_snapshots
-from repro.service.registry import CityEntry, CityRegistry
+from repro.service.registry import CityEntry, CityRegistry, populate_store
 from repro.service.schema import (
     BuildRequest,
     CustomizeOp,
@@ -62,5 +62,6 @@ __all__ = [
     "build_workload",
     "cache_key",
     "merge_snapshots",
+    "populate_store",
     "profile_fingerprint",
 ]

@@ -19,7 +19,10 @@ so the output shows both cold builds and warm-cache hits end to end::
     python -m repro.service --cities paris,barcelona,rome --scale 0.5
     python -m repro.service --input requests.jsonl
     python -m repro.service serve --shards 2 --port 8642
+    python -m repro.service serve --shards 2 --store ./assets
     python -m repro.service loadgen --port 8642 --actions 80 --check
+    python -m repro.service loadgen --store ./assets --store-build-only
+    python -m repro.service loadgen --port 8642 --check --expect-hydrated
 
 Demo traffic uses ``group_spec`` requests -- pure JSON a client can
 write without knowing the LDA topic labels the server's item index

@@ -515,5 +515,6 @@ class PackageService:
             "cities": list(self.registry.loaded()),
             "open_sessions": self.open_sessions,
             "cache": self.cache.stats(),
+            "registry": self.registry.stats(),
             "metrics": self.metrics.snapshot(),
         }

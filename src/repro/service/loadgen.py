@@ -10,7 +10,20 @@ the serving tier, drawn from four traffic kinds:
 * ``batch`` -- one ``batch`` envelope of several independent builds;
 * ``session`` -- open a customization session, apply a few REMOVE
   edits (targets are resolved from the opened package at run time --
-  the generator cannot know POI ids up front), then close it.
+  the generator cannot know POI ids up front), then close it;
+* ``budget`` -- a cold build carrying a finite budget drawn from
+  ``budget_sweep``, so serving traffic exercises the assembly repair
+  phase (``_repair_budget``) instead of only the unconstrained path.
+
+``count_sweep`` additionally varies the requested attraction count
+across build-type actions, sweeping CI sizes (and thus repair
+pressure) deterministically.
+
+With ``--store`` the CLI can also pre-populate a persistent
+:class:`~repro.store.AssetStore` before driving traffic (or instead of
+it, with ``--store-build-only``), and ``--expect-hydrated`` asserts
+post-run -- via the server's merged stats -- that no shard paid an LDA
+fit, i.e. the whole run was served from disk-hydrated assets.
 
 ``build_workload(config)`` is pure and deterministic: same config,
 same action list, same JSON payloads -- byte for byte.  Runners exist
@@ -55,6 +68,10 @@ class LoadgenConfig:
         session_edits: REMOVE edits applied per session.
         group_size: Members per synthetic group.
         passes: Repetitions of the whole action list (cache studies).
+        budget_sweep: Finite budgets the ``budget`` kind cycles over
+            (required when the mix contains ``budget``).
+        count_sweep: Attraction counts swept across build actions
+            (empty = the fixed default of 3).
     """
 
     cities: tuple[str, ...] = ("paris", "barcelona")
@@ -66,6 +83,8 @@ class LoadgenConfig:
     session_edits: int = 2
     group_size: int = 5
     passes: int = 1
+    budget_sweep: tuple[float, ...] = ()
+    count_sweep: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.cities:
@@ -73,9 +92,15 @@ class LoadgenConfig:
         if self.actions < 1:
             raise ValueError("a workload needs at least one action")
         kinds = {kind for kind, _ in self.mix}
-        unknown = kinds - {"cold", "warm", "batch", "session"}
+        unknown = kinds - {"cold", "warm", "batch", "session", "budget"}
         if unknown:
             raise ValueError(f"unknown traffic kinds: {sorted(unknown)}")
+        if "budget" in kinds and not self.budget_sweep:
+            raise ValueError("the 'budget' kind needs a budget_sweep")
+        if any(budget <= 0 for budget in self.budget_sweep):
+            raise ValueError("budgets must be positive")
+        if any(count < 1 for count in self.count_sweep):
+            raise ValueError("attraction counts must be at least 1")
         if any(weight < 0 for _, weight in self.mix):
             raise ValueError("mix weights must be non-negative")
         if sum(weight for _, weight in self.mix) <= 0:
@@ -94,11 +119,13 @@ class Action:
 
 
 def _build_payload(city: str, spec_seed: int, group_size: int,
-                   request_id: str) -> dict:
+                   request_id: str, budget: float | None = None,
+                   attr_count: int = 3) -> dict:
     return {
         "city": city,
-        "query": {"counts": {"acco": 1, "trans": 1, "rest": 1, "attr": 3},
-                  "budget": None},
+        "query": {"counts": {"acco": 1, "trans": 1, "rest": 1,
+                             "attr": attr_count},
+                  "budget": budget},
         "group_spec": {"size": group_size, "uniform": spec_seed % 2 == 0,
                        "seed": spec_seed},
         "request_id": request_id,
@@ -111,6 +138,15 @@ def build_workload(config: LoadgenConfig) -> list[Action]:
     kinds = [kind for kind, _ in config.mix]
     weights = [weight for _, weight in config.mix]
     cold_seed = 10_000 + config.seed  # disjoint from the warm pool below
+
+    def attr_for(slot: int) -> int:
+        """Attraction count for a deterministic slot.  ``warm`` ties
+        the slot to the spec (not the action index) so identical specs
+        keep producing identical requests -- the cache-hit guarantee."""
+        if not config.count_sweep:
+            return 3
+        return config.count_sweep[slot % len(config.count_sweep)]
+
     actions: list[Action] = []
     for index in range(config.actions):
         kind = rng.choices(kinds, weights)[0]
@@ -120,7 +156,8 @@ def build_workload(config: LoadgenConfig) -> list[Action]:
             actions.append(Action(kind, envelope={
                 "op": "build",
                 "request": _build_payload(city, cold_seed,
-                                          config.group_size, rid),
+                                          config.group_size, rid,
+                                          attr_count=attr_for(index)),
             }))
             cold_seed += 1
         elif kind == "warm":
@@ -128,7 +165,8 @@ def build_workload(config: LoadgenConfig) -> list[Action]:
             actions.append(Action(kind, envelope={
                 "op": "build",
                 "request": _build_payload(city, spec,
-                                          config.group_size, rid),
+                                          config.group_size, rid,
+                                          attr_count=attr_for(spec)),
             }))
         elif kind == "batch":
             requests = []
@@ -137,16 +175,31 @@ def build_workload(config: LoadgenConfig) -> list[Action]:
                 spec = rng.randrange(config.warm_pool)
                 requests.append(_build_payload(sub_city, spec,
                                                config.group_size,
-                                               f"{rid}.{sub}"))
+                                               f"{rid}.{sub}",
+                                               attr_count=attr_for(spec)))
             actions.append(Action(kind, envelope={
                 "op": "batch", "request": {"requests": requests},
             }))
+        elif kind == "budget":
+            # A never-repeated spec under a finite budget: a cache miss
+            # that must run CI assembly's repair phase wherever the
+            # budget binds.
+            budget = config.budget_sweep[index % len(config.budget_sweep)]
+            actions.append(Action(kind, envelope={
+                "op": "build",
+                "request": _build_payload(city, cold_seed,
+                                          config.group_size, rid,
+                                          budget=budget,
+                                          attr_count=attr_for(index)),
+            }))
+            cold_seed += 1
         else:  # session
             spec = rng.randrange(config.warm_pool)
             actions.append(Action(kind, open_envelope={
                 "op": "open_session",
                 "request": _build_payload(city, spec,
-                                          config.group_size, rid),
+                                          config.group_size, rid,
+                                          attr_count=attr_for(spec)),
             }, edits=config.session_edits))
     return actions * config.passes
 
@@ -372,6 +425,48 @@ def _parse_mix(text: str) -> tuple[tuple[str, float], ...]:
     return tuple(mix)
 
 
+def _parse_floats(text: str) -> tuple[float, ...]:
+    return tuple(float(p) for p in text.split(",") if p.strip())
+
+
+def _parse_ints(text: str) -> tuple[int, ...]:
+    return tuple(int(p) for p in text.split(",") if p.strip())
+
+
+async def _fetch_stats(host: str, port: int, timeout: float) -> dict:
+    """One ``stats`` envelope against the live server."""
+    reader, writer = await _connect(host, port, timeout)
+    try:
+        writer.write(json.dumps({"op": "stats"}).encode("utf-8") + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def _check_hydrated(stats: dict) -> list[str]:
+    """Problems with the claim "this run was served without a single
+    LDA fit" -- empty when the claim holds.  Reads the cluster's merged
+    registry counters (populated since the asset store landed)."""
+    counters = stats.get("registry", {}).get("counters", {})
+    problems = []
+    if counters.get("fits", 0):
+        problems.append(f"{counters['fits']} LDA fit(s) were paid")
+    if counters.get("store_misses", 0):
+        problems.append(f"{counters['store_misses']} store miss(es)")
+    if not counters.get("store_hits", 0):
+        problems.append("no store hits recorded (is --store set on the "
+                        "server?)")
+    return problems
+
+
 def loadgen_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service loadgen",
@@ -384,10 +479,36 @@ def loadgen_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--actions", type=int, default=50)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--mix", default=None,
-                        help="kind=weight pairs, e.g. "
-                             "'cold=0.6,warm=0.2,batch=0.1,session=0.1'")
+                        help="kind=weight pairs, e.g. 'cold=0.6,warm=0.2,"
+                             "batch=0.1,session=0.05,budget=0.05'")
     parser.add_argument("--passes", type=int, default=1,
                         help="replay the action list this many times")
+    parser.add_argument("--budgets", default=None, metavar="B1,B2,...",
+                        help="budget sweep for the 'budget' traffic kind "
+                             "(exercises the assembly repair phase); adds "
+                             "the kind to the mix when absent")
+    parser.add_argument("--attr-counts", default=None, metavar="N1,N2,...",
+                        help="attraction-count sweep across build actions "
+                             "(default: fixed at 3)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="pre-populate this persistent asset store for "
+                             "the workload's cities before driving traffic")
+    parser.add_argument("--store-seed", type=int, default=2019,
+                        help="registry seed the store entries are keyed "
+                             "under (must match the server's --seed)")
+    parser.add_argument("--store-scale", type=float, default=0.35,
+                        help="city scale for store entries (must match the "
+                             "server's --scale)")
+    parser.add_argument("--store-lda-iterations", type=int, default=50,
+                        help="LDA sweeps for store entries (must match the "
+                             "server's --lda-iterations)")
+    parser.add_argument("--store-build-only", action="store_true",
+                        help="populate --store and exit without sending "
+                             "traffic (no server needed)")
+    parser.add_argument("--expect-hydrated", action="store_true",
+                        help="after the run, fetch server stats and fail "
+                             "unless every city was store-hydrated (zero "
+                             "LDA fits, zero store misses)")
     parser.add_argument("--connections", type=int, default=2)
     parser.add_argument("--connect-timeout", type=float, default=30.0,
                         help="retry window while waiting for the server")
@@ -398,11 +519,39 @@ def loadgen_main(argv: list[str] | None = None) -> int:
                         help="exit non-zero on any non-shed error response")
     args = parser.parse_args(argv)
 
+    cities = tuple(c.strip().lower() for c in args.cities.split(",")
+                   if c.strip())
+
+    if args.store is not None:
+        from repro.service.registry import populate_store
+
+        print(f"populating asset store {args.store} for "
+              f"{', '.join(cities)} ...", file=sys.stderr)
+        failed = populate_store(
+            args.store, list(cities), seed=args.store_seed,
+            scale=args.store_scale,
+            lda_iterations=args.store_lda_iterations,
+        )
+        for city, reason in failed.items():
+            print(f"store populate failed for {city!r}: {reason}",
+                  file=sys.stderr)
+        if args.store_build_only:
+            return 1 if failed else 0
+    elif args.store_build_only:
+        parser.error("--store-build-only needs --store")
+
+    mix = _parse_mix(args.mix) if args.mix else DEFAULT_MIX
+    budgets = _parse_floats(args.budgets) if args.budgets else ()
+    if budgets and "budget" not in {kind for kind, _ in mix}:
+        mix = mix + (("budget", 0.2),)
+    if not budgets and "budget" in {kind for kind, _ in mix}:
+        parser.error("a mix containing 'budget' needs --budgets")
     config = LoadgenConfig(
-        cities=tuple(c.strip().lower() for c in args.cities.split(",")
-                     if c.strip()),
+        cities=cities,
         actions=args.actions, seed=args.seed, passes=args.passes,
-        mix=_parse_mix(args.mix) if args.mix else DEFAULT_MIX,
+        mix=mix,
+        budget_sweep=budgets,
+        count_sweep=_parse_ints(args.attr_counts) if args.attr_counts else (),
     )
     workload = build_workload(config)
 
@@ -423,9 +572,27 @@ def loadgen_main(argv: list[str] | None = None) -> int:
               "(hung server?)", file=sys.stderr)
         return 2
     print(report.summary(), file=sys.stderr)
+    status = 0
     if args.check and (report.errors or report.failed_connections):
         print(f"--check failed: {report.errors} error responses, "
               f"{report.failed_connections} failed connections",
               file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if args.expect_hydrated:
+        try:
+            stats = asyncio.run(_fetch_stats(args.host, args.port,
+                                             args.connect_timeout))
+        except (OSError, ConnectionError, json.JSONDecodeError) as exc:
+            print(f"--expect-hydrated: could not fetch stats: {exc}",
+                  file=sys.stderr)
+            return 1
+        problems = _check_hydrated(stats)
+        if problems:
+            print("--expect-hydrated failed: " + "; ".join(problems),
+                  file=sys.stderr)
+            status = 1
+        else:
+            counters = stats["registry"]["counters"]
+            print(f"hydration check ok: {counters.get('store_hits', 0)} "
+                  "store hit(s), zero LDA fits", file=sys.stderr)
+    return status

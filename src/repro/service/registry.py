@@ -16,12 +16,28 @@ request path touches only ready-made structures.
 Cities come from two places: any of the eight synthetic templates
 (:mod:`repro.data.cities`) generated on demand, or datasets registered
 explicitly (e.g. loaded from JSON dumps of real data).
+
+Two optional knobs bound the cost of that materialization:
+
+* ``store`` -- a persistent :class:`~repro.store.AssetStore`.  Template
+  cities are **loaded from disk before fitting** (and written back on a
+  miss, still under the per-city lock), so a restarted server or a
+  freshly-forked shard worker hydrates in milliseconds instead of
+  paying LDA again.  Explicitly registered datasets bypass the store:
+  their content is client-controlled and not derivable from the store's
+  ``(city, seed, scale, lda_iterations)`` key.
+* ``max_cities`` -- LRU residency bound.  Cities registered over the
+  wire are client-controlled server state; beyond the bound the
+  least-recently-used entry is evicted (cheap to bring back when a
+  store is attached).  ``stats()`` reports per-entry byte estimates so
+  operators can size the bound.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from threading import Lock
 
 from repro.core.arrays import CityArrays
@@ -36,6 +52,7 @@ from repro.profiles.group import GroupProfile
 from repro.profiles.schema import ProfileSchema
 from repro.profiles.vectors import ItemVectorIndex
 from repro.service.schema import GroupSpec
+from repro.store import AssetStore, CityAssets
 
 
 @dataclass(frozen=True)
@@ -53,6 +70,12 @@ class CityEntry:
         """The profile coordinate system requests must match."""
         return self.item_index.schema
 
+    def estimated_bytes(self) -> int:
+        """Rough resident size: the two big array holders plus a
+        per-POI allowance for the dataset's Python objects."""
+        return (self.arrays.nbytes + self.item_index.nbytes()
+                + len(self.dataset) * 512)
+
 
 class CityRegistry:
     """Lazily-loaded, shared per-city serving assets.
@@ -64,22 +87,36 @@ class CityRegistry:
         k: Default Composite Items per package.
         weights: Default Equation 1 weights for the builders.
         candidate_pool: Assembly candidate cap per category.
+        store: Optional persistent asset store (or its root path);
+            template cities load from it before fitting and write back
+            on a miss.
+        max_cities: Optional LRU bound on resident city entries.
     """
 
     def __init__(self, seed: int = 2019, scale: float = 1.0,
                  lda_iterations: int = 120, k: int = 5,
                  weights: ObjectiveWeights = ObjectiveWeights(),
-                 candidate_pool: int = 60) -> None:
+                 candidate_pool: int = 60,
+                 store: AssetStore | str | Path | None = None,
+                 max_cities: int | None = None) -> None:
+        if max_cities is not None and max_cities < 1:
+            raise ValueError("max_cities must be at least 1")
         self.seed = seed
         self.scale = scale
         self.lda_iterations = lda_iterations
         self.k = k
         self.weights = weights
         self.candidate_pool = candidate_pool
-        self._entries: dict[str, CityEntry] = {}
+        self.store = (AssetStore(store) if isinstance(store, (str, Path))
+                      else store)
+        self.max_cities = max_cities
+        self._entries: OrderedDict[str, CityEntry] = OrderedDict()
+        self._entry_bytes: dict[str, int] = {}
         self._profiles: OrderedDict[tuple, GroupProfile] = OrderedDict()
         self._lock = Lock()
         self._city_locks: dict[str, Lock] = {}
+        self._counters = {"fits": 0, "store_hits": 0, "store_misses": 0,
+                          "evictions": 0}
 
     #: Bound on cached spec resolutions; unlike city entries (at most
     #: eight templates) distinct specs are client-controlled, so the
@@ -108,6 +145,28 @@ class CityRegistry:
             if city not in self._entries:
                 self._city_locks.pop(city, None)
 
+    def _count(self, name: str) -> None:
+        with self._lock:
+            self._counters[name] += 1
+
+    def _install(self, city: str, entry: CityEntry) -> None:
+        """Publish an entry and enforce the residency bound (both under
+        the registry lock; eviction never touches the just-installed
+        city)."""
+        with self._lock:
+            self._entries[city] = entry
+            self._entries.move_to_end(city)
+            self._entry_bytes[city] = entry.estimated_bytes()
+            while (self.max_cities is not None
+                   and len(self._entries) > self.max_cities):
+                victim, _ = self._entries.popitem(last=False)
+                self._entry_bytes.pop(victim, None)
+                # The victim's lock slot would otherwise leak; a loader
+                # racing this eviction at worst refits once (same
+                # guarantee as _discard_lock).
+                self._city_locks.pop(victim, None)
+                self._counters["evictions"] += 1
+
     def register(self, dataset: POIDataset,
                  item_index: ItemVectorIndex | None = None,
                  name: str | None = None) -> CityEntry:
@@ -118,7 +177,9 @@ class CityRegistry:
         benchmarks use this to serve cities a test harness already
         built.  A failed registration (e.g. LDA cannot fit an empty
         dataset) leaves no trace: the name stays unregistered and can
-        be retried or registered with a valid dataset later.
+        be retried or registered with a valid dataset later.  Registered
+        datasets are never written to the asset store -- their content
+        is not derivable from the store's key.
         """
         city = (name or dataset.city).lower()
         if not city:
@@ -126,8 +187,7 @@ class CityRegistry:
         try:
             with self._lock_for(city):
                 entry = self._make_entry(city, dataset, item_index)
-                with self._lock:
-                    self._entries[city] = entry
+                self._install(city, entry)
                 return entry
         except BaseException:
             self._discard_lock(city)
@@ -140,39 +200,92 @@ class CityRegistry:
             # degenerate LDA and then NaN-poisons every centroid the
             # builder seeds, failing requests far from the cause.
             raise ValueError(f"cannot serve city {city!r}: dataset is empty")
-        index = item_index or ItemVectorIndex.fit(
-            dataset, lda_iterations=self.lda_iterations, seed=self.seed
-        )
+        if item_index is None:
+            item_index = ItemVectorIndex.fit(
+                dataset, lda_iterations=self.lda_iterations, seed=self.seed
+            )
+            self._count("fits")
         # Registration-time precompute: every build for this city scores
         # against these arrays instead of the POI objects.  ``of`` (not
         # ``build``) so a pair already materialized elsewhere in the
         # process (e.g. a harness-owned GroupTravel) is shared, not
         # duplicated.
-        arrays = CityArrays.of(dataset, index)
+        arrays = CityArrays.of(dataset, item_index)
+        return self._assemble_entry(city, dataset, item_index, arrays)
+
+    def _assemble_entry(self, city: str, dataset: POIDataset,
+                        item_index: ItemVectorIndex,
+                        arrays: CityArrays) -> CityEntry:
         builder = KFCBuilder(
-            dataset, index, weights=self.weights, k=self.k, seed=self.seed,
-            candidate_pool=self.candidate_pool, arrays=arrays,
+            dataset, item_index, weights=self.weights, k=self.k,
+            seed=self.seed, candidate_pool=self.candidate_pool,
+            arrays=arrays,
         )
-        return CityEntry(name=city, dataset=dataset, item_index=index,
+        return CityEntry(name=city, dataset=dataset, item_index=item_index,
                          arrays=arrays, builder=builder)
+
+    # -- the persistent store ----------------------------------------------
+
+    def _store_load(self, city: str) -> CityEntry | None:
+        """A store-hydrated entry for a template city, or ``None``.
+
+        Called under the city's lock.  A hit skips city generation, LDA
+        and the array precompute entirely; the builder (cheap -- its
+        projection comes from the loaded bundle) is rebuilt around the
+        loaded assets with this registry's serving knobs.
+        """
+        if self.store is None:
+            return None
+        assets = self.store.load(city, seed=self.seed, scale=self.scale,
+                                 lda_iterations=self.lda_iterations)
+        if assets is None:
+            self._count("store_misses")
+            return None
+        self._count("store_hits")
+        return self._assemble_entry(city, assets.dataset, assets.item_index,
+                                    assets.arrays)
+
+    def _store_save(self, city: str, entry: CityEntry) -> None:
+        """Write a freshly-fitted template entry back (best-effort:
+        a full disk must not fail the request that paid the fit)."""
+        if self.store is None:
+            return
+        try:
+            self.store.save(
+                CityAssets(dataset=entry.dataset,
+                           item_index=entry.item_index,
+                           arrays=entry.arrays),
+                city=city, seed=self.seed, scale=self.scale,
+                lda_iterations=self.lda_iterations,
+            )
+        except OSError:
+            pass
 
     def entry(self, city: str) -> CityEntry:
         """The pooled assets for ``city``, generating and fitting them
         on first use (template cities only; other names must be
-        registered first)."""
+        registered first).  With a store attached, the fit is replaced
+        by a disk load whenever a valid entry exists."""
         city = city.lower()
-        existing = self._entries.get(city)
-        if existing is not None:
-            return existing
+        with self._lock:
+            existing = self._entries.get(city)
+            if existing is not None:
+                self._entries.move_to_end(city)  # LRU touch
+                return existing
         try:
             with self._lock_for(city):
-                existing = self._entries.get(city)
-                if existing is not None:  # lost the race to another thread
-                    return existing
-                dataset = generate_city(city, seed=self.seed, scale=self.scale)
-                entry = self._make_entry(city, dataset)
                 with self._lock:
-                    self._entries[city] = entry
+                    existing = self._entries.get(city)
+                    if existing is not None:  # lost the race
+                        self._entries.move_to_end(city)
+                        return existing
+                entry = self._store_load(city)
+                if entry is None:
+                    dataset = generate_city(city, seed=self.seed,
+                                            scale=self.scale)
+                    entry = self._make_entry(city, dataset)
+                    self._store_save(city, entry)
+                self._install(city, entry)
                 return entry
         except BaseException:
             self._discard_lock(city)
@@ -201,6 +314,27 @@ class CityRegistry:
         """Every city this registry can serve without registration."""
         return tuple(sorted(set(city_names()) | set(self._entries)))
 
+    def stats(self) -> dict:
+        """Residency and provenance counters, JSON-ready.
+
+        ``counters.fits`` counts LDA fits this registry actually paid;
+        a warm-started registry serving only store hits reports zero --
+        the signal the store-smoke CI job asserts on.
+        """
+        with self._lock:
+            bytes_by_city = dict(self._entry_bytes)
+            counters = dict(self._counters)
+        snapshot = {
+            "cities": sorted(bytes_by_city),
+            "max_cities": self.max_cities,
+            "bytes_by_city": bytes_by_city,
+            "total_bytes": sum(bytes_by_city.values()),
+            "counters": counters,
+        }
+        if self.store is not None:
+            snapshot["store"] = self.store.stats()
+        return snapshot
+
     # -- synthetic groups ----------------------------------------------------
 
     def group_profile(self, city: str, spec: GroupSpec) -> GroupProfile:
@@ -223,3 +357,29 @@ class CityRegistry:
             while len(self._profiles) > self._MAX_PROFILES:
                 self._profiles.popitem(last=False)
         return profile
+
+
+def populate_store(store: AssetStore | str | Path, cities: list[str],
+                   *, seed: int = 2019, scale: float = 1.0,
+                   lda_iterations: int = 120) -> dict[str, str]:
+    """Ensure ``store`` holds valid assets for every template city.
+
+    One fit per *missing* city, in the calling process -- the server
+    front-end runs this before booting its shards so N workers hydrate
+    from disk and the whole cluster pays at most one fit per city.
+    Returns ``{city: reason}`` for cities that could not be fitted
+    (mirroring the warmup wire op); successes are silent.
+    """
+    # max_cities=1 bounds peak memory to one city's assets: the store
+    # write-back happens inside entry() before the entry is installed,
+    # so evicting the previous city cannot lose its on-disk copy.
+    registry = CityRegistry(seed=seed, scale=scale,
+                            lda_iterations=lda_iterations, store=store,
+                            max_cities=1)
+    failed: dict[str, str] = {}
+    for city in cities:
+        try:
+            registry.entry(city)
+        except Exception as exc:
+            failed[city] = str(exc) or exc.__class__.__name__
+    return failed

@@ -42,6 +42,7 @@ import time
 
 from repro.core.objective import ObjectiveWeights
 from repro.service.engine import PackageService
+from repro.service.registry import populate_store
 from repro.service.schema import ErrorCode, PackageResponse
 from repro.service.shard import ShardCluster, ShardConfig
 
@@ -303,6 +304,8 @@ def _build_cluster(args: argparse.Namespace) -> ShardCluster:
         lda_iterations=args.lda_iterations,
         weights=ObjectiveWeights(gamma=args.gamma),
         cache_capacity=args.cache_capacity,
+        store_path=args.store,
+        max_cities=args.max_cities,
     )
     cities = [c.strip().lower() for c in args.cities.split(",") if c.strip()]
     return ShardCluster(shards=args.shards, config=config, cities=cities,
@@ -313,6 +316,25 @@ async def _serve_async(args: argparse.Namespace) -> int:
     cluster = _build_cluster(args)
     server = PackageServer(cluster, max_inflight=args.max_inflight)
     try:
+        if args.store and not args.no_warm and cluster.placement:
+            # Pre-populate the persistent store *in the front-end* so
+            # every shard's warmup below is a disk load: N workers, one
+            # LDA fit total per missing city.  Runs in a thread to keep
+            # the (not yet serving) event loop responsive to signals.
+            print(f"populating asset store {args.store} ...",
+                  file=sys.stderr)
+            started = time.perf_counter()
+            failed = await asyncio.get_running_loop().run_in_executor(
+                None, lambda: populate_store(
+                    args.store, sorted(cluster.placement),
+                    seed=args.seed, scale=args.scale,
+                    lda_iterations=args.lda_iterations,
+                ))
+            print(f"store ready ({time.perf_counter() - started:.1f}s)",
+                  file=sys.stderr)
+            for city, reason in failed.items():
+                print(f"store populate failed for {city!r}: {reason}",
+                      file=sys.stderr)
         if not args.no_warm and cluster.placement:
             print(f"warming {sorted(cluster.placement)} over "
                   f"{cluster.shard_count} shard(s)...", file=sys.stderr)
@@ -371,6 +393,14 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
                         help="personalization weight of Equation 1")
     parser.add_argument("--cache-capacity", type=int, default=256,
                         help="per-shard package-cache capacity")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persistent city-asset store; warmup "
+                             "populates it once in the front-end and "
+                             "every shard worker hydrates from disk "
+                             "instead of refitting LDA")
+    parser.add_argument("--max-cities", type=int, default=None,
+                        help="per-shard LRU bound on resident city "
+                             "entries (default: unbounded)")
     parser.add_argument("--max-inflight", type=int, default=64,
                         help="admission-control bound; beyond it requests "
                              "are shed with an 'overloaded' response")

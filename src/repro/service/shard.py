@@ -40,7 +40,12 @@ inject services over pre-fitted registries.
 from __future__ import annotations
 
 import zlib
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, field
 from threading import Lock
 from typing import Callable
@@ -72,6 +77,13 @@ class ShardConfig:
     cache_capacity: int = 256
     batch_workers: int = 8
     max_sessions: int = 1024
+    #: Root of a persistent :class:`~repro.store.AssetStore`; workers
+    #: hydrate template cities from it instead of refitting LDA.  A
+    #: plain string (not a live store object) so the config stays
+    #: trivially picklable.
+    store_path: str | None = None
+    #: LRU residency bound for each worker's private registry.
+    max_cities: int | None = None
 
     def make_service(self) -> PackageService:
         """A fresh serving stack per this configuration (runs in the
@@ -80,6 +92,7 @@ class ShardConfig:
             seed=self.seed, scale=self.scale,
             lda_iterations=self.lda_iterations, k=self.k,
             weights=self.weights, candidate_pool=self.candidate_pool,
+            store=self.store_path, max_cities=self.max_cities,
         )
         return PackageService(registry, cache_capacity=self.cache_capacity,
                               max_workers=self.batch_workers,
@@ -124,6 +137,12 @@ def _worker_dispatch(op: str, payload: dict) -> dict:
 def _completed(value: dict) -> Future:
     future: Future = Future()
     future.set_result(value)
+    return future
+
+
+def _failed(exc: BaseException) -> Future:
+    future: Future = Future()
+    future.set_exception(exc)
     return future
 
 
@@ -179,17 +198,34 @@ def _gather(futures: list[Future], combine: Callable[[list[dict]], dict]) -> Fut
 # -- the cluster --------------------------------------------------------------
 
 class _Shard:
-    """One worker and its submission queue."""
+    """One worker and its submission queue.
+
+    Process shards **self-heal**: a worker killed mid-request (OOM
+    killer, segfault in a native library, operator mistake) breaks its
+    ``ProcessPoolExecutor`` permanently, so the shard detects
+    ``BrokenExecutor`` -- both the immediate raise from ``submit`` and
+    the deferred failure of an in-flight future -- replaces the pool,
+    and retries the affected request once on the fresh worker.  The
+    replacement worker starts empty: its customization sessions are
+    lost (clients get structured ``unknown_session`` errors) and its
+    cities re-hydrate lazily -- cheap when a
+    :attr:`ShardConfig.store_path` is set, since rebuilding is a disk
+    load instead of an LDA fit.  ``restarted`` counts pool rebuilds and
+    is surfaced through the cluster's stats.
+    """
 
     def __init__(self, shard_id: int, config: ShardConfig,
                  use_processes: bool,
                  service_factory: Callable[[int], PackageService] | None) -> None:
         self.id = shard_id
+        self.restarted = 0
+        self._config = config
+        self._closed = False
+        self._restart_lock = Lock()
         self._service: PackageService | None = None
         if use_processes:
             self._pool: ProcessPoolExecutor | ThreadPoolExecutor = (
-                ProcessPoolExecutor(max_workers=1, initializer=_init_worker,
-                                    initargs=(config, shard_id))
+                self._new_process_pool()
             )
         else:
             self._service = (service_factory(shard_id) if service_factory
@@ -198,16 +234,78 @@ class _Shard:
                 max_workers=1, thread_name_prefix=f"shard-{shard_id}"
             )
 
+    def _new_process_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=1, initializer=_init_worker,
+                                   initargs=(self._config, self.id))
+
+    def _heal(self, broken: ProcessPoolExecutor) -> None:
+        """Replace a broken pool (idempotent per pool instance: many
+        in-flight futures fail together, only the first observer swaps)."""
+        with self._restart_lock:
+            if self._closed or self._pool is not broken:
+                return
+            broken.shutdown(wait=False)
+            self._pool = self._new_process_pool()
+            self.restarted += 1
+
+    def _submit_once(self, op: str, payload: dict) -> tuple[Future, ProcessPoolExecutor]:
+        """Submit to the current pool, healing first if it is already
+        broken (worker died idle between requests).  Returns the future
+        *and* the pool it ran on, so a deferred failure heals the right
+        pool.  A second immediate break is a real environment problem
+        -- let it raise."""
+        with self._restart_lock:
+            pool = self._pool
+        try:
+            return pool.submit(_worker_dispatch, op, payload), pool
+        except BrokenExecutor:
+            self._heal(pool)
+            with self._restart_lock:
+                pool = self._pool
+            return pool.submit(_worker_dispatch, op, payload), pool
+
     def submit(self, op: str, payload: dict) -> Future:
         if self._service is not None:
             service = self._service
             return self._pool.submit(
                 lambda: _tag_shard(service.dispatch(op, payload), self.id)
             )
-        return self._pool.submit(_worker_dispatch, op, payload)
+        try:
+            inner, pool = self._submit_once(op, payload)
+        except BrokenExecutor as exc:
+            return _failed(exc)
+        out: Future = Future()
+
+        def _relay(completed: Future, ran_on, retried: bool) -> None:
+            exc = completed.exception()
+            if isinstance(exc, BrokenExecutor) and not retried:
+                # Worker died *under* this request.  Heal the pool it
+                # ran on (idempotent if a sibling future got there
+                # first) and retry once on the fresh worker; a request
+                # that kills two workers in a row propagates its
+                # failure.
+                self._heal(ran_on)
+                try:
+                    retry, retry_pool = self._submit_once(op, payload)
+                except BrokenExecutor as submit_exc:
+                    out.set_exception(submit_exc)
+                    return
+                retry.add_done_callback(
+                    lambda f: _relay(f, retry_pool, True)
+                )
+            elif exc is not None:
+                out.set_exception(exc)
+            else:
+                out.set_result(completed.result())
+
+        inner.add_done_callback(lambda f: _relay(f, pool, False))
+        return out
 
     def shutdown(self, wait: bool = True) -> None:
-        self._pool.shutdown(wait=wait)
+        with self._restart_lock:
+            self._closed = True
+            pool = self._pool
+        pool.shutdown(wait=wait)
         if self._service is not None:
             self._service.close()
 
@@ -421,12 +519,27 @@ class ShardCluster:
                 cache[key] += result["cache"][key]
         lookups = cache["hits"] + cache["misses"]
         cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
+        # Pool-rebuild counts live front-side (the worker that crashed
+        # cannot report its own death); stamp them onto each shard's
+        # answer and total them.
+        for shard, result in zip(self._shards, results):
+            result["restarted"] = shard.restarted
+        registry: dict = {"counters": {}, "total_bytes": 0}
+        for result in results:
+            shard_registry = result.get("registry", {})
+            registry["total_bytes"] += shard_registry.get("total_bytes", 0)
+            for name, value in shard_registry.get("counters", {}).items():
+                registry["counters"][name] = (
+                    registry["counters"].get(name, 0) + value
+                )
         return {
             "shards": results,
             "placement": self.placement,
             "cities": sorted({c for r in results for c in r["cities"]}),
             "open_sessions": sum(r["open_sessions"] for r in results),
+            "restarted": sum(s.restarted for s in self._shards),
             "cache": cache,
+            "registry": registry,
             "metrics": merge_snapshots([r["metrics"] for r in results]),
         }
 

@@ -1,0 +1,18 @@
+"""Persistent city-asset store: pay the fit once, serve it forever.
+
+:class:`AssetStore` keeps each city's query-independent serving
+artifacts (dataset, fitted item vectors, the ``CityArrays`` bundle) on
+disk under a content key, integrity-checked and atomically published,
+so registries and shard workers hydrate in milliseconds instead of
+refitting LDA.  See :mod:`repro.store.assets` for the layout and
+guarantees.
+"""
+
+from repro.store.assets import (
+    FORMAT_VERSION,
+    AssetStore,
+    CityAssets,
+    StoreKey,
+)
+
+__all__ = ["AssetStore", "CityAssets", "FORMAT_VERSION", "StoreKey"]

@@ -1,0 +1,362 @@
+"""The on-disk city-asset store.
+
+Everything a city's serving entry needs that is query-independent --
+the POI dataset, the fitted :class:`~repro.profiles.vectors.ItemVectorIndex`
+(both LDA models) and the :class:`~repro.core.arrays.CityArrays`
+compute bundle -- is a pure function of ``(city, seed, scale,
+lda_iterations)``.  :class:`AssetStore` persists that function's value
+once and serves it forever: the same pay-at-registration move as OBDA's
+precomputed exact mappings, extended across process restarts.  A warm
+registry or shard worker hydrates a city from disk in milliseconds
+instead of refitting LDA for seconds.
+
+Layout (one directory per content key)::
+
+    <root>/
+      paris-seed2019-scale0.35-lda50-v1/
+        manifest.json   # format version, key, sha256 per payload file
+        dataset.json    # POIDataset.to_json()
+        index.npz       # per-category item-vector matrices + LDA counts
+        arrays.npz      # CityArrays.export_arrays()
+        meta.json       # schema, LDA hyperparams, arrays scalars
+
+Guarantees:
+
+* **Byte-identity.**  A loaded entry builds packages bit-for-bit equal
+  to a freshly-fitted one (the golden fixtures assert this on the
+  loaded path).  Arrays round-trip through raw ``npz`` bytes; the
+  dataset through JSON (``repr`` floats round-trip exactly); LDA
+  corpora are rebuilt deterministically from the loaded dataset.
+* **Atomic publication.**  Writers assemble a hidden temp directory
+  and ``rename`` it into place; readers see either nothing or a
+  complete entry, never a half-written one.
+* **Corruption safety.**  Every payload file's sha256 is recorded in
+  the manifest and verified on load; any mismatch, truncation, missing
+  file, version skew or parse error makes :meth:`AssetStore.load`
+  return ``None`` -- the caller refits, it never crashes serving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from threading import Lock
+
+import numpy as np
+
+from repro.core.arrays import CityArrays
+from repro.data.dataset import POIDataset
+from repro.data.poi import CATEGORIES, Category
+from repro.profiles.schema import ProfileSchema
+from repro.profiles.vectors import ItemVectorIndex
+
+#: Bump when the on-disk layout changes; entries of other versions are
+#: treated as misses (never best-effort parsed).
+FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_DATASET = "dataset.json"
+_INDEX = "index.npz"
+_ARRAYS = "arrays.npz"
+_META = "meta.json"
+_PAYLOAD_FILES = (_DATASET, _INDEX, _ARRAYS, _META)
+
+#: LDA array-state keys persisted per topic model, in npz-key order.
+_LDA_ARRAY_KEYS = ("doc_topic", "topic_word", "topic_totals")
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """The content key one stored entry answers for.
+
+    City assets are deterministic in these four fields (plus the format
+    version), so the key doubles as the directory name and as the
+    equality check a loader performs before trusting an entry.
+    """
+
+    city: str
+    seed: int
+    scale: float
+    lda_iterations: int
+
+    def dirname(self) -> str:
+        slug = re.sub(r"[^a-z0-9_-]+", "_", self.city.lower()) or "city"
+        return (f"{slug}-seed{self.seed}-scale{self.scale!r}"
+                f"-lda{self.lda_iterations}-v{FORMAT_VERSION}")
+
+    def to_dict(self) -> dict:
+        return {"city": self.city.lower(), "seed": self.seed,
+                "scale": self.scale, "lda_iterations": self.lda_iterations,
+                "format_version": FORMAT_VERSION}
+
+
+@dataclass(frozen=True)
+class CityAssets:
+    """The query-independent artifacts one store entry holds."""
+
+    dataset: POIDataset
+    item_index: ItemVectorIndex
+    arrays: CityArrays
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class StoreCorruption(Exception):
+    """Internal: an entry exists but cannot be trusted (bad digest,
+    missing file, malformed payload).  Never escapes :meth:`load`."""
+
+
+class AssetStore:
+    """A directory of persistent, integrity-checked city assets.
+
+    Args:
+        root: Store directory; created (with parents) if absent.
+
+    Thread- and process-safe for its intended access pattern: many
+    concurrent readers, plus writers that only ever publish the same
+    deterministic content under one key.  All methods may be called
+    from multiple threads; counters are internally locked.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = Lock()
+        self._counters = {"hits": 0, "misses": 0, "corrupt": 0,
+                          "writes": 0, "write_races": 0}
+
+    def _count(self, name: str) -> None:
+        with self._lock:
+            self._counters[name] += 1
+
+    # -- keys --------------------------------------------------------------
+
+    def key(self, city: str, *, seed: int, scale: float,
+            lda_iterations: int) -> StoreKey:
+        return StoreKey(city=city.lower(), seed=int(seed),
+                        scale=float(scale),
+                        lda_iterations=int(lda_iterations))
+
+    def path(self, key: StoreKey) -> Path:
+        """The directory a key publishes to."""
+        return self.root / key.dirname()
+
+    def contains(self, city: str, *, seed: int, scale: float,
+                 lda_iterations: int) -> bool:
+        """Whether a *valid* entry exists for the key (digests checked)."""
+        key = self.key(city, seed=seed, scale=scale,
+                       lda_iterations=lda_iterations)
+        try:
+            self._verify(self.path(key), key)
+            return True
+        except StoreCorruption:
+            return False
+
+    def keys(self) -> list[str]:
+        """Directory names of published entries (valid or not)."""
+        return sorted(p.name for p in self.root.iterdir()
+                      if p.is_dir() and not p.name.startswith("."))
+
+    # -- saving ------------------------------------------------------------
+
+    def save(self, assets: CityAssets, *, city: str, seed: int, scale: float,
+             lda_iterations: int) -> Path:
+        """Persist one city's assets under their content key.
+
+        Publication is atomic (write to a hidden temp directory, then
+        ``rename``).  If a valid entry already exists -- e.g. a
+        concurrent writer won the race -- the write is discarded; the
+        content is deterministic in the key, so both copies are equal.
+        Returns the published directory.
+        """
+        key = self.key(city, seed=seed, scale=scale,
+                       lda_iterations=lda_iterations)
+        final = self.path(key)
+        tmp = self.root / f".tmp-{key.dirname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        tmp.mkdir()
+        try:
+            self._write_payload(tmp, key, assets)
+            try:
+                self._verify(final, key)
+            except StoreCorruption:
+                # Missing or untrustworthy: replace.  (A reader racing
+                # this replace sees either the old entry -- which it
+                # will itself reject -- or the new one; never a blend,
+                # because rename is atomic.)
+                if final.exists():
+                    shutil.rmtree(final, ignore_errors=True)
+                try:
+                    os.rename(tmp, final)
+                except OSError:
+                    # Lost a publish race after the corrupt-entry
+                    # removal; whoever won wrote equivalent content.
+                    self._count("write_races")
+                else:
+                    self._count("writes")
+            else:
+                self._count("write_races")
+        finally:
+            if tmp.exists():
+                shutil.rmtree(tmp, ignore_errors=True)
+        return final
+
+    def _write_payload(self, into: Path, key: StoreKey,
+                       assets: CityAssets) -> None:
+        (into / _DATASET).write_text(assets.dataset.to_json())
+
+        index_payload: dict[str, np.ndarray] = {}
+        lda_meta: dict[str, dict] = {}
+        for cat, (ids, matrix) in assets.item_index.category_vectors(
+                assets.dataset).items():
+            index_payload[f"ids__{cat.value}"] = ids
+            index_payload[f"vectors__{cat.value}"] = matrix
+        for cat, state in assets.item_index.topic_model_states().items():
+            for name in _LDA_ARRAY_KEYS:
+                index_payload[f"lda__{cat.value}__{name}"] = state[name]
+            lda_meta[cat.value] = {
+                k: state[k] for k in ("n_topics", "alpha", "beta",
+                                      "n_iterations")
+            }
+        with (into / _INDEX).open("wb") as handle:
+            np.savez(handle, **index_payload)
+
+        with (into / _ARRAYS).open("wb") as handle:
+            np.savez(handle, **assets.arrays.export_arrays())
+
+        meta = {
+            "schema": assets.item_index.schema.to_dict(),
+            "lda": lda_meta,
+            "arrays": assets.arrays.export_meta(),
+        }
+        (into / _META).write_text(json.dumps(meta))
+
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "key": key.to_dict(),
+            "files": {name: _sha256(into / name)
+                      for name in _PAYLOAD_FILES},
+        }
+        (into / _MANIFEST).write_text(json.dumps(manifest))
+
+    # -- loading -----------------------------------------------------------
+
+    def _verify(self, entry: Path, key: StoreKey) -> dict:
+        """The entry's manifest, after the integrity checks.
+
+        Raises :class:`StoreCorruption` on any reason to distrust the
+        entry: absence, version/key mismatch, digest mismatch.
+        """
+        try:
+            manifest = json.loads((entry / _MANIFEST).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreCorruption(f"unreadable manifest: {exc}") from exc
+        if not isinstance(manifest, dict):
+            raise StoreCorruption("manifest is not an object")
+        if manifest.get("format_version") != FORMAT_VERSION:
+            raise StoreCorruption(
+                f"format version {manifest.get('format_version')!r} "
+                f"!= {FORMAT_VERSION}"
+            )
+        if manifest.get("key") != key.to_dict():
+            raise StoreCorruption("manifest key does not match the request")
+        files = manifest.get("files")
+        if not isinstance(files, dict) or set(files) != set(_PAYLOAD_FILES):
+            raise StoreCorruption("manifest file list is malformed")
+        for name, digest in files.items():
+            path = entry / name
+            if not path.is_file():
+                raise StoreCorruption(f"missing payload file {name}")
+            if _sha256(path) != digest:
+                raise StoreCorruption(f"digest mismatch on {name}")
+        return manifest
+
+    def load(self, city: str, *, seed: int, scale: float,
+             lda_iterations: int) -> CityAssets | None:
+        """The assets stored for a key, or ``None``.
+
+        ``None`` covers the honest miss (nothing published) and every
+        defect -- corruption, truncation, version skew, key mismatch,
+        unparseable payload.  The caller's contract is simply "fit when
+        the store cannot serve"; a bad entry must degrade to a refit,
+        never to an exception on the serving path.
+        """
+        key = self.key(city, seed=seed, scale=scale,
+                       lda_iterations=lda_iterations)
+        entry = self.path(key)
+        if not (entry / _MANIFEST).is_file():
+            self._count("misses")
+            return None
+        try:
+            self._verify(entry, key)
+            assets = self._read_payload(entry)
+        except StoreCorruption:
+            self._count("corrupt")
+            return None
+        self._count("hits")
+        return assets
+
+    def _read_payload(self, entry: Path) -> CityAssets:
+        try:
+            dataset = POIDataset.from_json((entry / _DATASET).read_text())
+            meta = json.loads((entry / _META).read_text())
+            schema = ProfileSchema.from_dict(meta["schema"])
+            with np.load(entry / _INDEX) as index_npz:
+                category_vectors = {}
+                for cat in CATEGORIES:
+                    category_vectors[cat] = (
+                        np.asarray(index_npz[f"ids__{cat.value}"],
+                                   dtype=np.int64),
+                        np.asarray(index_npz[f"vectors__{cat.value}"],
+                                   dtype=float),
+                    )
+                topic_states = {}
+                for cat_value, params in meta["lda"].items():
+                    cat = Category.parse(cat_value)
+                    state = dict(params)
+                    for name in _LDA_ARRAY_KEYS:
+                        state[name] = index_npz[f"lda__{cat.value}__{name}"]
+                    topic_states[cat] = state
+            item_index = ItemVectorIndex.restore(
+                dataset, schema, category_vectors, topic_states
+            )
+            with np.load(entry / _ARRAYS) as arrays_npz:
+                arrays = CityArrays.from_export(arrays_npz, meta["arrays"])
+        except Exception as exc:
+            # Anything the decoders throw -- zip truncation, bad JSON,
+            # shape mismatches in restore() -- is corruption by
+            # definition here: the digests passed, so the *format*
+            # contract was broken, and refitting is the only safe answer.
+            raise StoreCorruption(f"unreadable payload: {exc}") from exc
+        if len(arrays) != len(dataset):
+            raise StoreCorruption("arrays bundle does not match the dataset")
+        return CityAssets(dataset=dataset, item_index=item_index,
+                          arrays=arrays)
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters plus a cheap directory census."""
+        entries = self.keys()
+        total = 0
+        for name in entries:
+            for path in (self.root / name).glob("*"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+        with self._lock:
+            counters = dict(self._counters)
+        return {"root": str(self.root), "entries": len(entries),
+                "disk_bytes": total, **counters}

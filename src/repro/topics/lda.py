@@ -114,6 +114,65 @@ class LatentDirichletAllocation:
         if self._doc_topic is None:
             raise RuntimeError("LDA model is not fitted; call fit() first")
 
+    # -- persistence ----------------------------------------------------------
+
+    def state(self) -> dict:
+        """The fitted sampler state, as plain arrays and scalars.
+
+        Everything a :meth:`restore` needs except the corpus itself
+        (which is rebuilt deterministically from the dataset it came
+        from).  The count matrices fully determine every inference
+        output -- ``document_topics``, ``topic_words``, fold-in -- so a
+        restored model answers bit-for-bit like the fitted one.
+        """
+        self._require_fitted()
+        return {
+            "n_topics": self.n_topics,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "n_iterations": self.n_iterations,
+            "doc_topic": self._doc_topic,
+            "topic_word": self._topic_word,
+            "topic_totals": self._topic_totals,
+        }
+
+    @classmethod
+    def restore(cls, corpus: TagCorpus, *, n_topics: int, alpha: float,
+                beta: float, n_iterations: int, doc_topic: np.ndarray,
+                topic_word: np.ndarray, topic_totals: np.ndarray,
+                seed: int = 0) -> "LatentDirichletAllocation":
+        """A fitted model from :meth:`state` arrays plus its corpus.
+
+        Shapes are validated against ``corpus`` so a truncated or
+        mismatched payload raises ``ValueError`` instead of producing a
+        silently wrong model.
+        """
+        doc_topic = np.asarray(doc_topic, dtype=np.int64)
+        topic_word = np.asarray(topic_word, dtype=np.int64)
+        topic_totals = np.asarray(topic_totals, dtype=np.int64)
+        if doc_topic.shape != (len(corpus), n_topics):
+            raise ValueError(
+                f"doc_topic shape {doc_topic.shape} does not match "
+                f"({len(corpus)}, {n_topics})"
+            )
+        if topic_word.shape != (n_topics, corpus.vocabulary_size):
+            raise ValueError(
+                f"topic_word shape {topic_word.shape} does not match "
+                f"({n_topics}, {corpus.vocabulary_size})"
+            )
+        if topic_totals.shape != (n_topics,):
+            raise ValueError(
+                f"topic_totals shape {topic_totals.shape} does not match "
+                f"({n_topics},)"
+            )
+        model = cls(n_topics=n_topics, alpha=alpha, beta=beta,
+                    n_iterations=n_iterations, seed=seed)
+        model._corpus = corpus
+        model._doc_topic = doc_topic
+        model._topic_word = topic_word
+        model._topic_totals = topic_totals
+        return model
+
     # -- inference outputs ----------------------------------------------------
 
     def document_topics(self) -> np.ndarray:

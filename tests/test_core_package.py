@@ -91,6 +91,57 @@ class TestObjective:
         with pytest.raises(ValueError):
             fuzzy_memberships(np.ones((2, 2)), fuzzifier=1.0)
 
+    def test_fuzzy_memberships_bit_identical_to_tensor_form(self):
+        """The (n, k)-memory implementation must reproduce the original
+        (n, k, k) broadcast *exactly* -- golden-pinned package centroids
+        flow through these values, so drift of even one ulp is a
+        regression, not noise."""
+
+        def tensor_reference(distances, fuzzifier):
+            d = np.asarray(distances, dtype=float)
+            zero_rows = np.isclose(d, 0.0).any(axis=1)
+            safe = np.maximum(d, 1e-300)
+            exponent = 2.0 / (fuzzifier - 1.0)
+            ratio = safe[:, :, None] / safe[:, None, :]
+            memberships = 1.0 / (ratio ** exponent).sum(axis=2)
+            for i in np.flatnonzero(zero_rows):
+                hits = np.isclose(d[i], 0.0)
+                memberships[i] = hits / hits.sum()
+            return memberships
+
+        rng = np.random.default_rng(7)
+        for n, k in ((1, 2), (17, 3), (200, 5), (123, 8)):
+            dists = rng.uniform(0.0, 3.0, size=(n, k))
+            dists[rng.uniform(size=n) < 0.1] = 0.0  # coincident rows
+            for fuzzifier in (1.3, 2.0, 3.5):
+                got = fuzzy_memberships(dists, fuzzifier)
+                want = tensor_reference(dists, fuzzifier)
+                assert np.array_equal(got, want)
+
+    def test_fcm_memberships_bit_identical_to_tensor_form(self):
+        """Same pin for the clustering-side update (it shares the
+        rewrite and feeds FCM centroid seeding)."""
+        from repro.clustering.fuzzy_cmeans import FuzzyCMeans
+
+        def tensor_reference(sq, exponent):
+            zero_rows = np.isclose(sq, 0.0).any(axis=1)
+            safe = np.maximum(sq, 1e-300)
+            ratio = safe[:, :, None] / safe[:, None, :]
+            memberships = 1.0 / (ratio ** (exponent / 2.0)).sum(axis=2)
+            for i in np.flatnonzero(zero_rows):
+                hits = np.isclose(sq[i], 0.0)
+                memberships[i] = hits / hits.sum()
+            return memberships
+
+        rng = np.random.default_rng(11)
+        x = rng.uniform(-5, 5, size=(150, 2))
+        fcm = FuzzyCMeans(n_clusters=4, seed=3)
+        centroids = x[:4].copy()
+        exponent = 2.0 / (fcm.m - 1.0)
+        got = fcm._memberships(x, centroids, exponent)
+        want = tensor_reference(fcm._sq_distances(x, centroids), exponent)
+        assert np.array_equal(got, want)
+
     def test_normalized_distances_in_unit_range(self, app, package):
         dist = normalized_distances_to_centroids(app.dataset,
                                                  package.centroids())

@@ -229,6 +229,53 @@ class TestProcessCluster:
                          service_factory=lambda i: None)
 
 
+class TestShardSelfHealing:
+    def test_killed_worker_is_replaced_and_requests_retried(self):
+        """SIGKILLing a shard's worker breaks its ProcessPoolExecutor
+        permanently; the shard must swap in a fresh pool, serve the
+        next requests, and report the restart in stats."""
+        import os
+        import signal
+
+        config = ShardConfig(scale=0.15, lda_iterations=5, seed=3)
+        with ShardCluster(shards=1, config=config,
+                          use_processes=True) as cluster:
+            assert cluster.dispatch("ping", {})["ok"] is True
+            shard = cluster._shards[0]
+            for pid in list(shard._pool._processes):
+                os.kill(pid, signal.SIGKILL)
+            # The next dispatch rides the heal-and-retry path (the dead
+            # worker may surface as an immediate or a deferred
+            # BrokenExecutor; both must recover).
+            assert cluster.dispatch("ping", {})["ok"] is True
+            assert shard.restarted == 1
+            # Real work still lands on the replacement worker.
+            response = cluster.dispatch("build", spec_payload("paris"))
+            assert response["error"] is None
+            stats = cluster.stats()
+            assert stats["restarted"] == 1
+            assert stats["shards"][0]["restarted"] == 1
+
+    def test_sessions_die_with_their_worker(self):
+        """Self-healing trades session state for availability: a healed
+        shard answers, but sessions opened on the dead worker come back
+        as structured unknown_session errors."""
+        import os
+        import signal
+
+        config = ShardConfig(scale=0.15, lda_iterations=5, seed=3)
+        with ShardCluster(shards=1, config=config,
+                          use_processes=True) as cluster:
+            opened = cluster.dispatch("open_session", spec_payload("paris"))
+            assert opened["error"] is None
+            for pid in list(cluster._shards[0]._pool._processes):
+                os.kill(pid, signal.SIGKILL)
+            resumed = cluster.dispatch("close_session",
+                                       {"session_id": opened["session_id"]})
+            assert resumed["code"] == ErrorCode.UNKNOWN_SESSION.value
+            assert cluster.stats()["restarted"] == 1
+
+
 # -- the NDJSON front-end ------------------------------------------------------
 
 class _StubCluster:
@@ -468,6 +515,70 @@ class TestLoadgen:
             LoadgenConfig(mix=(("cold", 0.0), ("warm", 0.0)))
         with pytest.raises(ValueError):
             LoadgenConfig(mix=(("cold", -1.0), ("warm", 2.0)))
+        with pytest.raises(ValueError):
+            LoadgenConfig(mix=(("budget", 1.0),))  # needs a sweep
+        with pytest.raises(ValueError):
+            LoadgenConfig(budget_sweep=(0.0,), mix=(("budget", 1.0),))
+        with pytest.raises(ValueError):
+            LoadgenConfig(count_sweep=(0,))
+
+    def test_budget_sweep_cycles_finite_budgets(self):
+        config = LoadgenConfig(actions=30, seed=4,
+                               mix=(("budget", 1.0),),
+                               budget_sweep=(20.0, 30.0, 40.0))
+        workload = build_workload(config)
+        assert all(a.kind == "budget" for a in workload)
+        budgets = [a.envelope["request"]["query"]["budget"]
+                   for a in workload]
+        assert set(budgets) == {20.0, 30.0, 40.0}
+        # Cold-style specs: budgets never reuse a group spec, so each
+        # action is a cache miss that must run the repair phase.
+        seeds = [a.envelope["request"]["group_spec"]["seed"]
+                 for a in workload]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_count_sweep_varies_attraction_counts(self):
+        config = LoadgenConfig(actions=40, seed=4, mix=(("cold", 1.0),),
+                               count_sweep=(1, 3, 5))
+        counts = {a.envelope["request"]["query"]["counts"]["attr"]
+                  for a in build_workload(config)}
+        assert counts == {1, 3, 5}
+        # Warm actions tie the count to the spec so exact repeats stay
+        # exact (the cache-hit guarantee survives the sweep).
+        config = LoadgenConfig(actions=40, seed=4, mix=(("warm", 1.0),),
+                               warm_pool=2, count_sweep=(1, 3, 5))
+        by_spec = {}
+        for action in build_workload(config):
+            request = action.envelope["request"]
+            spec = request["group_spec"]["seed"]
+            by_spec.setdefault(spec, set()).add(
+                request["query"]["counts"]["attr"])
+        assert all(len(counts) == 1 for counts in by_spec.values())
+
+    def test_budget_workload_exercises_repair_under_serving(self, cluster):
+        """Budgeted traffic through the live serving path: every
+        response is ok and every returned CI respects its budget --
+        i.e. the repair phase ran and produced valid packages."""
+        probe = cluster.dispatch("build", spec_payload("paris", seed=77))
+        assert probe["error"] is None
+        ci_costs = [sum(p["cost"] for p in ci["pois"])
+                    for ci in probe["package"]["composite_items"]]
+        budget = round(0.9 * max(ci_costs), 2)  # binds for some CIs
+
+        config = LoadgenConfig(actions=10, seed=3, cities=("paris",),
+                               mix=(("budget", 1.0),),
+                               budget_sweep=(budget, budget * 1.1),
+                               count_sweep=(2, 3))
+        report = run_sync(cluster.dispatch, build_workload(config))
+        assert report.errors == 0 and report.ok == 10
+        assert report.by_kind["budget"] == 10
+        for action in build_workload(config):
+            response = cluster.dispatch(
+                action.envelope["op"], action.envelope["request"])
+            limit = action.envelope["request"]["query"]["budget"]
+            assert response["error"] is None
+            for ci in response["package"]["composite_items"]:
+                assert sum(p["cost"] for p in ci["pois"]) <= limit + 1e-9
 
     def test_run_sync_against_cluster(self, cluster):
         config = LoadgenConfig(actions=14, seed=2,

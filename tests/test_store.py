@@ -1,0 +1,410 @@
+"""Tests for the persistent city-asset store (``repro.store``).
+
+The contract under test, in order of importance:
+
+1. **Byte-identity.**  Assets that go through disk must serve the same
+   bytes as freshly-fitted ones -- asserted against the golden package
+   fixtures (captured from the pre-refactor seed implementation) on the
+   *loaded* path, across three cities, three seeds and budgeted builds.
+2. **Corruption safety.**  Truncation, bit flips, missing files,
+   version skew and key mismatches all degrade to a miss (refit), never
+   to an exception on the serving path.
+3. **Concurrency.**  Many readers/writers on one store root, and many
+   threads on one registry, produce exactly one fit's worth of work and
+   no torn entries.
+4. **Registry integration.**  ``CityRegistry(store=...)`` loads before
+   fitting, writes back on a miss, counts provenance, and (with
+   ``max_cities``) evicts LRU entries that a store hit brings back
+   cheaply.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.kfc import KFCBuilder
+from repro.core.query import DEFAULT_QUERY, GroupQuery
+from repro.data.synthetic import generate_city
+from repro.profiles.generator import GroupGenerator
+from repro.profiles.vectors import ItemVectorIndex
+from repro.service.registry import CityRegistry, populate_store
+from repro.service.schema import BuildRequest, GroupSpec
+from repro.store import FORMAT_VERSION, AssetStore, CityAssets
+from repro.store.assets import _ARRAYS, _DATASET, _MANIFEST
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_packages.json"
+
+#: Small-city knobs shared by the fast tests (the golden tests use the
+#: golden config instead).
+FAST = dict(seed=5, scale=0.15, lda_iterations=5)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return AssetStore(tmp_path / "assets")
+
+
+@pytest.fixture(scope="module")
+def fast_fit():
+    """One fitted (dataset, index, arrays) triple at the FAST scale,
+    via a plain registry -- the reference the store tests compare to."""
+    registry = CityRegistry(**FAST)
+    entry = registry.entry("paris")
+    return entry
+
+
+def _package_bytes(package) -> list:
+    return [
+        ([p.id for p in ci.pois], tuple(float.hex(c) for c in ci.centroid))
+        for ci in package.composite_items
+    ]
+
+
+class TestRoundTrip:
+    def test_save_then_load_serves_identical_assets(self, store, fast_fit):
+        store.save(CityAssets(fast_fit.dataset, fast_fit.item_index,
+                              fast_fit.arrays), city="paris", **FAST)
+        loaded = store.load("paris", **FAST)
+        assert loaded is not None
+        assert loaded.dataset.to_json() == fast_fit.dataset.to_json()
+        assert loaded.item_index.schema == fast_fit.item_index.schema
+        for poi in fast_fit.dataset:
+            assert np.array_equal(loaded.item_index.vector(poi.id),
+                                  fast_fit.item_index.vector(poi.id))
+        assert loaded.arrays.origin == fast_fit.arrays.origin
+        assert loaded.arrays.max_distance_km == fast_fit.arrays.max_distance_km
+        assert np.array_equal(loaded.arrays.xy, fast_fit.arrays.xy)
+        for cat, ca in fast_fit.arrays.categories.items():
+            cb = loaded.arrays.categories[cat]
+            for field in ("ids", "rows", "lats", "lons", "costs",
+                          "vectors", "vector_norms", "cost_order"):
+                assert np.array_equal(getattr(ca, field), getattr(cb, field))
+
+    def test_loaded_assets_build_identical_packages(self, store, fast_fit):
+        store.save(CityAssets(fast_fit.dataset, fast_fit.item_index,
+                              fast_fit.arrays), city="paris", **FAST)
+        loaded = store.load("paris", **FAST)
+        profile = GroupGenerator(fast_fit.schema, seed=3).uniform_group(4).profile()
+        fresh = fast_fit.builder.build(profile, DEFAULT_QUERY)
+        hydrated = KFCBuilder(loaded.dataset, loaded.item_index,
+                              seed=FAST["seed"],
+                              arrays=loaded.arrays).build(profile,
+                                                          DEFAULT_QUERY)
+        assert _package_bytes(fresh) == _package_bytes(hydrated)
+
+    def test_restored_topic_models_answer_identically(self, store, fast_fit):
+        store.save(CityAssets(fast_fit.dataset, fast_fit.item_index,
+                              fast_fit.arrays), city="paris", **FAST)
+        loaded = store.load("paris", **FAST)
+        for cat in ("rest", "attr"):
+            fitted = fast_fit.item_index.topic_model(cat)
+            restored = loaded.item_index.topic_model(cat)
+            assert fitted.topic_labels() == restored.topic_labels()
+            assert np.array_equal(fitted.document_topics(),
+                                  restored.document_topics())
+            assert np.array_equal(
+                fitted.infer_theta(["museum", "garden"], seed=4),
+                restored.infer_theta(["museum", "garden"], seed=4),
+            )
+
+    def test_contains_and_keys(self, store, fast_fit):
+        assert not store.contains("paris", **FAST)
+        store.save(CityAssets(fast_fit.dataset, fast_fit.item_index,
+                              fast_fit.arrays), city="paris", **FAST)
+        assert store.contains("paris", **FAST)
+        assert len(store.keys()) == 1
+        stats = store.stats()
+        assert stats["entries"] == 1 and stats["writes"] == 1
+        assert stats["disk_bytes"] > 0
+
+
+class TestGoldenLoadedPath:
+    """The acceptance bar: golden fixtures (pre-refactor bytes) must
+    pass when every asset came off disk."""
+
+    @pytest.fixture(scope="class")
+    def hydrated_systems(self, golden, tmp_path_factory):
+        cfg = golden["config"]
+        store = AssetStore(tmp_path_factory.mktemp("golden-store"))
+        out = {}
+        for city in sorted({b["city"] for b in golden["builds"]}):
+            dataset = generate_city(city, seed=cfg["city_seed"],
+                                    scale=cfg["scale"])
+            index = ItemVectorIndex.fit(dataset,
+                                        lda_iterations=cfg["lda_iterations"],
+                                        seed=cfg["app_seed"])
+            fitted = KFCBuilder(dataset, index, k=5, seed=cfg["app_seed"])
+            store.save(CityAssets(dataset, index, fitted.arrays),
+                       city=city, seed=cfg["city_seed"], scale=cfg["scale"],
+                       lda_iterations=cfg["lda_iterations"])
+            loaded = store.load(city, seed=cfg["city_seed"],
+                                scale=cfg["scale"],
+                                lda_iterations=cfg["lda_iterations"])
+            assert loaded is not None
+            builder = KFCBuilder(loaded.dataset, loaded.item_index, k=5,
+                                 seed=cfg["app_seed"], arrays=loaded.arrays)
+            group = GroupGenerator(
+                loaded.item_index.schema, seed=cfg["group_seed"]
+            ).uniform_group(cfg["group_size"])
+            out[city] = (builder, group.profile(), loaded.item_index)
+        return out
+
+    def test_loaded_path_matches_golden(self, golden, hydrated_systems):
+        for build in golden["builds"]:
+            builder, profile, item_index = hydrated_systems[build["city"]]
+            query = (DEFAULT_QUERY if build["budget"] is None else
+                     GroupQuery.of(acco=1, trans=1, rest=1, attr=3,
+                                   budget=build["budget"]))
+            pkg = builder.build(profile, query, seed=build["seed"])
+            assert [[p.id for p in ci.pois] for ci in pkg.composite_items] \
+                == [ci["poi_ids"] for ci in build["cis"]]
+            assert [[float.hex(c) for c in ci.centroid]
+                    for ci in pkg.composite_items] \
+                == [ci["centroid"] for ci in build["cis"]]
+            assert {
+                "representativity_km": float.hex(pkg.representativity()),
+                "within_ci_km": float.hex(pkg.raw_cohesiveness_sum()),
+                "personalization": float.hex(
+                    pkg.personalization(profile, item_index)),
+            } == build["metrics"]
+
+
+class TestCorruptionFallback:
+    @pytest.fixture()
+    def saved(self, store, fast_fit):
+        path = store.save(CityAssets(fast_fit.dataset, fast_fit.item_index,
+                                     fast_fit.arrays), city="paris", **FAST)
+        return path
+
+    def test_bit_flip_in_arrays_is_a_miss(self, store, saved):
+        target = saved / _ARRAYS
+        blob = bytearray(target.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        assert store.load("paris", **FAST) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_truncated_dataset_is_a_miss(self, store, saved):
+        target = saved / _DATASET
+        target.write_bytes(target.read_bytes()[: 100])
+        assert store.load("paris", **FAST) is None
+
+    def test_missing_payload_file_is_a_miss(self, store, saved):
+        (saved / _ARRAYS).unlink()
+        assert store.load("paris", **FAST) is None
+
+    def test_unparseable_manifest_is_a_miss(self, store, saved):
+        (saved / _MANIFEST).write_text("{not json")
+        assert store.load("paris", **FAST) is None
+
+    def test_digest_pass_but_malformed_payload_is_a_miss(self, store,
+                                                         saved, fast_fit):
+        # Rewrite a payload file *and* its manifest digest: the format
+        # layer (shape checks in restore()) must still reject it.
+        target = saved / _ARRAYS
+        target.write_bytes(b"PK\x03\x04 not an npz")
+        manifest = json.loads((saved / _MANIFEST).read_text())
+        import hashlib
+        manifest["files"][_ARRAYS] = hashlib.sha256(
+            target.read_bytes()).hexdigest()
+        (saved / _MANIFEST).write_text(json.dumps(manifest))
+        assert store.load("paris", **FAST) is None
+
+    def test_registry_refits_over_a_corrupt_entry(self, store, saved,
+                                                  fast_fit):
+        (saved / _ARRAYS).write_bytes(b"garbage")
+        registry = CityRegistry(store=store, **FAST)
+        entry = registry.entry("paris")  # falls back to a refit
+        assert registry.stats()["counters"]["fits"] == 1
+        assert registry.stats()["counters"]["store_misses"] == 1
+        profile = GroupGenerator(entry.schema, seed=3).uniform_group(4).profile()
+        assert _package_bytes(entry.builder.build(profile, DEFAULT_QUERY)) \
+            == _package_bytes(fast_fit.builder.build(profile, DEFAULT_QUERY))
+        # ... and the write-back *repaired* the entry on disk: the
+        # garbage payload is gone and the entry loads again.
+        assert (saved / _ARRAYS).read_bytes() != b"garbage"
+        assert store.load("paris", **FAST) is not None
+
+
+class TestVersionAndKeyMismatch:
+    def test_format_version_skew_is_a_miss(self, store, fast_fit):
+        saved = store.save(CityAssets(fast_fit.dataset, fast_fit.item_index,
+                                      fast_fit.arrays), city="paris", **FAST)
+        manifest = json.loads((saved / _MANIFEST).read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        (saved / _MANIFEST).write_text(json.dumps(manifest))
+        assert store.load("paris", **FAST) is None
+
+    def test_key_field_mismatch_is_a_miss(self, store, fast_fit):
+        saved = store.save(CityAssets(fast_fit.dataset, fast_fit.item_index,
+                                      fast_fit.arrays), city="paris", **FAST)
+        manifest = json.loads((saved / _MANIFEST).read_text())
+        manifest["key"]["lda_iterations"] = 999
+        (saved / _MANIFEST).write_text(json.dumps(manifest))
+        assert store.load("paris", **FAST) is None
+
+    def test_different_config_never_sees_the_entry(self, store, fast_fit):
+        store.save(CityAssets(fast_fit.dataset, fast_fit.item_index,
+                              fast_fit.arrays), city="paris", **FAST)
+        other = dict(FAST, lda_iterations=FAST["lda_iterations"] + 1)
+        assert store.load("paris", **other) is None
+        registry = CityRegistry(store=store, **other)
+        registry.entry("paris")
+        assert registry.stats()["counters"]["fits"] == 1  # keyed apart
+
+
+class TestRegistryIntegration:
+    def test_miss_fits_and_writes_back_hit_skips_the_fit(self, store):
+        cold = CityRegistry(store=store, **FAST)
+        entry = cold.entry("paris")
+        counters = cold.stats()["counters"]
+        assert counters == {"fits": 1, "store_hits": 0, "store_misses": 1,
+                            "evictions": 0}
+        assert store.contains("paris", **FAST)
+
+        warm = CityRegistry(store=store, **FAST)
+        hydrated = warm.entry("paris")
+        counters = warm.stats()["counters"]
+        assert counters == {"fits": 0, "store_hits": 1, "store_misses": 0,
+                            "evictions": 0}
+        profile = GroupGenerator(entry.schema, seed=9).uniform_group(5).profile()
+        assert _package_bytes(entry.builder.build(profile, DEFAULT_QUERY)) \
+            == _package_bytes(hydrated.builder.build(profile, DEFAULT_QUERY))
+
+    def test_service_responses_identical_across_fit_and_hydrate(self, store):
+        from repro.service.engine import PackageService
+
+        request = BuildRequest(city="paris",
+                               group_spec=GroupSpec(size=4, seed=13))
+        cold = PackageService(CityRegistry(store=store, **FAST))
+        warm = PackageService(CityRegistry(store=store, **FAST))
+        a = cold.build(request)
+        b = warm.build(request)
+        assert a.ok and b.ok
+        assert a.package.to_dict() == b.package.to_dict()
+        assert warm.stats()["registry"]["counters"]["fits"] == 0
+
+    def test_registered_datasets_bypass_the_store(self, store, fast_fit):
+        registry = CityRegistry(store=store, **FAST)
+        registry.register(fast_fit.dataset, fast_fit.item_index,
+                          name="customcity")
+        assert not store.keys()  # nothing persisted for registered data
+        assert registry.stats()["counters"]["fits"] == 0
+
+    def test_populate_store_pays_one_fit_per_missing_city(self, store):
+        failed = populate_store(store, ["paris", "paris", "nosuchcity"],
+                                **FAST)
+        assert set(failed) == {"nosuchcity"}
+        assert store.contains("paris", **FAST)
+        # A second populate is all hits.
+        assert populate_store(store, ["paris"], **FAST) == {}
+        assert store.stats()["writes"] == 1
+
+
+class TestBoundedResidency:
+    def test_lru_eviction_and_bytes_accounting(self, store):
+        registry = CityRegistry(store=store, max_cities=2, **FAST)
+        registry.entry("paris")
+        registry.entry("barcelona")
+        stats = registry.stats()
+        assert stats["cities"] == ["barcelona", "paris"]
+        assert all(size > 0 for size in stats["bytes_by_city"].values())
+        assert stats["total_bytes"] == sum(stats["bytes_by_city"].values())
+
+        registry.entry("rome")  # evicts paris (LRU)
+        stats = registry.stats()
+        assert stats["cities"] == ["barcelona", "rome"]
+        assert stats["counters"]["evictions"] == 1
+
+        # A touch refreshes recency: barcelona survives the next insert.
+        registry.entry("barcelona")
+        registry.entry("london")
+        assert "barcelona" in registry.stats()["cities"]
+
+        # The evicted city comes back from disk, not from a refit.
+        fits_before = registry.stats()["counters"]["fits"]
+        registry.entry("paris")
+        counters = registry.stats()["counters"]
+        assert counters["fits"] == fits_before
+        assert counters["store_hits"] >= 1
+
+    def test_max_cities_validation(self):
+        with pytest.raises(ValueError):
+            CityRegistry(max_cities=0)
+
+
+class TestConcurrentAccess:
+    def test_one_registry_many_threads_one_fit(self, store):
+        registry = CityRegistry(store=store, **FAST)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            entries = list(pool.map(lambda _: registry.entry("paris"),
+                                    range(16)))
+        assert all(e is entries[0] for e in entries)
+        assert registry.stats()["counters"]["fits"] == 1
+
+    def test_many_registries_share_one_store_root(self, store):
+        def load(_):
+            registry = CityRegistry(store=store, **FAST)
+            return registry.entry("paris")
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            entries = list(pool.map(load, range(6)))
+        profile = GroupGenerator(entries[0].schema, seed=2).uniform_group(3).profile()
+        packages = {
+            json.dumps(_package_bytes(e.builder.build(profile, DEFAULT_QUERY)))
+            for e in entries
+        }
+        assert len(packages) == 1  # every racer serves identical bytes
+        assert store.contains("paris", **FAST)
+
+    def test_concurrent_saves_leave_one_valid_entry(self, store, fast_fit):
+        assets = CityAssets(fast_fit.dataset, fast_fit.item_index,
+                            fast_fit.arrays)
+
+        def save(_):
+            return store.save(assets, city="paris", **FAST)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            paths = list(pool.map(save, range(16)))
+        assert len({str(p) for p in paths}) == 1
+        assert store.contains("paris", **FAST)
+        assert len(store.keys()) == 1
+        stats = store.stats()
+        assert stats["writes"] + stats["write_races"] == 16
+        # No temp-dir litter survives the stampede.
+        leftovers = [p for p in Path(store.root).iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+
+class TestShardConfigStore:
+    def test_workers_hydrate_from_the_store(self, store):
+        from repro.service.shard import ShardCluster, ShardConfig
+
+        populate_store(store, ["paris", "barcelona"], **FAST)
+        config = ShardConfig(store_path=str(store.root), **FAST)
+        with ShardCluster(shards=2, config=config,
+                          cities=["paris", "barcelona"],
+                          use_processes=False) as cluster:
+            warmed = cluster.warm()
+            assert sorted(warmed["cities"]) == ["barcelona", "paris"]
+            stats = cluster.stats()
+            merged = stats["registry"]["counters"]
+            assert merged["fits"] == 0
+            assert merged["store_hits"] == 2
+            assert stats["restarted"] == 0
+            assert all("restarted" in shard for shard in stats["shards"])
+            response = cluster.dispatch("build", {
+                "city": "paris", "group_spec": {"size": 3, "seed": 1},
+            })
+            assert response.get("error") is None
