@@ -125,21 +125,29 @@ class FuzzyCMeans:
         )
 
     def _init_centroids(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """k-means++-style initialization: spread starting centroids out."""
+        """k-means++-style initialization: spread starting centroids out.
+
+        Keeps a running minimum of squared distances to the chosen set,
+        so each round costs one ``(n, d)`` pass against the *newest*
+        centroid instead of an ``(n, chosen, d)`` tensor over all of
+        them.  Bit-identical to the tensor form: the per-pair ``d``-axis
+        summation order is unchanged and the min is exact, so the
+        sampling probabilities (and thus the seeded draws) are too.
+        """
         n = len(x)
         first = int(rng.integers(n))
         chosen = [first]
+        dists = ((x - x[first]) ** 2).sum(axis=1)
         for _ in range(1, self.n_clusters):
-            dists = np.min(
-                ((x[:, None, :] - x[chosen][None, :, :]) ** 2).sum(axis=2), axis=1
-            )
             total = dists.sum()
             if total <= 0:
                 # All remaining points coincide with chosen centroids.
                 remaining = [i for i in range(n) if i not in chosen]
-                chosen.append(remaining[0] if remaining else first)
-                continue
-            chosen.append(int(rng.choice(n, p=dists / total)))
+                pick = remaining[0] if remaining else first
+            else:
+                pick = int(rng.choice(n, p=dists / total))
+            chosen.append(pick)
+            np.minimum(dists, ((x - x[pick]) ** 2).sum(axis=1), out=dists)
         return x[chosen].astype(float).copy()
 
     @staticmethod

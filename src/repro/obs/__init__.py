@@ -1,0 +1,92 @@
+"""``repro.obs`` -- end-to-end observability for the serving stack.
+
+Three pieces, designed to cross process boundaries cleanly:
+
+* **Tracing** (:mod:`repro.obs.trace`): :class:`TraceContext` ids
+  minted at the front-end, propagated through the wire envelope into
+  shard workers, where every serving stage (queue wait, cache lookup,
+  store hydrate vs. LDA fit, array build, assembly, serialization)
+  records a :class:`Span`; a bounded ring retains the slowest-N
+  completed span trees per process.
+* **Histograms** (:mod:`repro.obs.histogram`): log-bucketed latency
+  distributions whose bucket counts **merge exactly** across shards,
+  so cluster-wide p50/p90/p99 are real percentiles, not averages of
+  per-shard estimates.
+* **Event log** (:mod:`repro.obs.events`): a sampled NDJSON stream
+  (stderr or file) with one JSON record per span or error;
+  ``python -m repro.obs.check`` validates a captured log (well-formed
+  lines, complete span trees).
+
+:class:`ObsConfig` is the picklable knob bundle the serving tier ships
+to worker processes; each worker builds its own :class:`Tracer` from
+it.  All of it degrades to near-zero cost when disabled: entry points
+check one flag, and :func:`stage` is a single context-variable read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.events import EventLog
+from repro.obs.histogram import LogHistogram, merge_snapshot_dicts
+from repro.obs.trace import (
+    SlowTraceRing,
+    Span,
+    TraceContext,
+    Tracer,
+    current_activation,
+    new_span_id,
+    new_trace_id,
+    stage,
+    use_activation,
+)
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Observability knobs, picklable for shipment to shard workers.
+
+    Attributes:
+        enabled: Master switch for all tracing work.
+        sample_rate: Fraction of traces elected for span collection and
+            event logging (histograms always see every request).
+        slowest: Capacity of the slowest-trace ring.
+        log_path: NDJSON event-log target: a file path (opened
+            append-mode, shared across workers), ``"-"`` for stderr, or
+            ``None`` for no event log.
+    """
+
+    enabled: bool = True
+    sample_rate: float = 1.0
+    slowest: int = 32
+    log_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError("sample_rate must be within [0, 1]")
+        if self.slowest < 1:
+            raise ValueError("slowest must be at least 1")
+
+    def make_tracer(self, shard: int | None = None) -> Tracer:
+        """A fresh tracer honoring this configuration."""
+        log = (EventLog(self.log_path)
+               if self.enabled and self.log_path is not None else None)
+        return Tracer(enabled=self.enabled, sample_rate=self.sample_rate,
+                      slowest=self.slowest, log=log, shard=shard)
+
+
+__all__ = [
+    "EventLog",
+    "LogHistogram",
+    "ObsConfig",
+    "SlowTraceRing",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "current_activation",
+    "merge_snapshot_dicts",
+    "new_span_id",
+    "new_trace_id",
+    "stage",
+    "use_activation",
+]

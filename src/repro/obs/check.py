@@ -1,0 +1,134 @@
+"""Event-log validation: ``python -m repro.obs.check LOG [options]``.
+
+Reads an NDJSON event log captured with ``serve --obs-log`` and
+verifies the structural invariants the observability layer promises:
+
+* every line is a well-formed JSON object carrying a ``kind``;
+* every span record has the span fields (trace/span ids, name, a
+  finite non-negative duration);
+* every trace forms a **complete span tree**: exactly one root span
+  (no parent) and every other span's ``parent_id`` resolving to a span
+  of the same trace -- a broken link means some layer dropped or
+  mis-threaded its context.
+
+Exits non-zero (listing the first few problems) when any invariant
+fails, so CI can gate on a captured log; ``--min-traces`` additionally
+enforces that a load run actually produced traces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+
+def check_log_lines(lines) -> tuple[dict, list[str]]:
+    """Validate NDJSON event-log lines.
+
+    Returns ``(summary, problems)``; an empty problem list means the
+    log upholds every invariant.
+    """
+    problems: list[str] = []
+    spans_by_trace: dict[str, list[dict]] = {}
+    records = 0
+    errors = 0
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {number}: not JSON ({exc})")
+            continue
+        if not isinstance(record, dict) or "kind" not in record:
+            problems.append(f"line {number}: not an event object")
+            continue
+        records += 1
+        kind = record["kind"]
+        if kind == "error":
+            errors += 1
+            continue
+        if kind != "span":
+            continue
+        trace_id = record.get("trace_id")
+        span_id = record.get("span_id")
+        duration = record.get("duration_ms")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            problems.append(f"line {number}: span without trace/span ids")
+            continue
+        if (not isinstance(duration, (int, float))
+                or not math.isfinite(duration) or duration < 0):
+            problems.append(
+                f"line {number}: span {span_id} has bad duration "
+                f"{duration!r}"
+            )
+        if not record.get("name"):
+            problems.append(f"line {number}: span {span_id} has no name")
+        spans_by_trace.setdefault(trace_id, []).append(record)
+
+    for trace_id, spans in spans_by_trace.items():
+        ids = {span["span_id"] for span in spans}
+        if len(ids) != len(spans):
+            problems.append(f"trace {trace_id}: duplicate span ids")
+        roots = [span for span in spans if span.get("parent_id") is None]
+        if len(roots) != 1:
+            problems.append(
+                f"trace {trace_id}: expected exactly one root span, "
+                f"found {len(roots)} of {len(spans)}"
+            )
+        for span in spans:
+            parent = span.get("parent_id")
+            if parent is not None and parent not in ids:
+                problems.append(
+                    f"trace {trace_id}: span {span['span_id']} "
+                    f"({span.get('name')}) has dangling parent {parent}"
+                )
+
+    summary = {
+        "records": records,
+        "errors": errors,
+        "traces": len(spans_by_trace),
+        "spans": sum(len(spans) for spans in spans_by_trace.values()),
+    }
+    return summary, problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.check",
+        description="Validate an NDJSON observability event log.",
+    )
+    parser.add_argument("log", help="event-log file captured with --obs-log")
+    parser.add_argument("--min-traces", type=int, default=0,
+                        help="fail unless at least this many complete "
+                             "traces are present")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.log, encoding="utf-8") as fh:
+            summary, problems = check_log_lines(fh)
+    except OSError as exc:
+        print(f"cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"{args.log}: {summary['records']} records, "
+          f"{summary['traces']} traces, {summary['spans']} spans, "
+          f"{summary['errors']} error events", file=sys.stderr)
+    if summary["traces"] < args.min_traces:
+        problems.append(f"only {summary['traces']} traces, expected at "
+                        f"least {args.min_traces}")
+    if problems:
+        for problem in problems[:10]:
+            print(f"  PROBLEM: {problem}", file=sys.stderr)
+        if len(problems) > 10:
+            print(f"  ... and {len(problems) - 10} more", file=sys.stderr)
+        return 1
+    print("event log ok", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""The structured NDJSON event log.
+
+One :class:`EventLog` writes one compact JSON object per line -- span
+completions, error events -- to stderr or an append-mode file.  Every
+record carries ``kind`` plus whatever fields the emitter attached; the
+log is meant to be machine-consumed (``repro.obs.check`` validates it,
+dashboards tail it), so nothing here is pretty-printed.
+
+Multiple processes may append to one file: each worker opens its own
+handle with ``O_APPEND`` semantics and emits each record as a single
+``write`` call, which keeps lines intact on POSIX filesystems for the
+few-hundred-byte records spans produce.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from threading import Lock
+
+
+class EventLog:
+    """A thread-safe NDJSON sink.
+
+    Args:
+        path: Target file (opened append-mode), or ``None``/``"-"`` for
+            stderr.
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = None if path in (None, "-") else str(path)
+        self._lock = Lock()
+        self._fh = (sys.stderr if self.path is None
+                    else open(self.path, "a", encoding="utf-8"))
+        self.written = 0
+        self.dropped = 0
+
+    def write(self, kind: str, record: dict) -> None:
+        """Emit one record (best-effort: a full disk or closed pipe
+        must never fail the request being traced)."""
+        payload = {"kind": kind, "ts": time.time()}
+        payload.update(record)
+        try:
+            line = json.dumps(payload, separators=(",", ":"),
+                              default=str) + "\n"
+        except (TypeError, ValueError):
+            self.dropped += 1
+            return
+        with self._lock:
+            try:
+                self._fh.write(line)
+                self._fh.flush()
+                self.written += 1
+            except (OSError, ValueError):
+                self.dropped += 1
+
+    def close(self) -> None:
+        """Close a file-backed log (stderr is left alone)."""
+        if self.path is not None:
+            with self._lock:
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+
+    def stats(self) -> dict:
+        return {"path": self.path or "stderr", "written": self.written,
+                "dropped": self.dropped}

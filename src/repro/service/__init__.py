@@ -18,7 +18,10 @@ On top of the single-process engine sits the **serving tier**: a
 city-affine process-pool shard layer (:mod:`repro.service.shard`), an
 asyncio NDJSON front-end with admission control and graceful drain
 (:mod:`repro.service.server`) and a deterministic workload generator
-(:mod:`repro.service.loadgen`).
+(:mod:`repro.service.loadgen`).  The whole stack is traced end to end
+by :mod:`repro.obs`: per-stage latency histograms that merge exactly
+across shards, per-request span trees, and an optional NDJSON event
+log (``serve --obs-log``).
 
 ``python -m repro.service`` runs a JSON-lines demo over two cities;
 ``python -m repro.service serve`` / ``loadgen`` run the network tier --

@@ -23,6 +23,9 @@ so the output shows both cold builds and warm-cache hits end to end::
     python -m repro.service loadgen --port 8642 --actions 80 --check
     python -m repro.service loadgen --store ./assets --store-build-only
     python -m repro.service loadgen --port 8642 --check --expect-hydrated
+    python -m repro.service serve --shards 2 --obs-log events.ndjson
+    python -m repro.service loadgen --port 8642 --trace --expect-traced \
+        --dump-slowest 5
 
 Demo traffic uses ``group_spec`` requests -- pure JSON a client can
 write without knowing the LDA topic labels the server's item index
@@ -176,7 +179,8 @@ def _jsonlines_main(argv: list[str]) -> int:
         print(
             f"  {op:<13} n={numbers['count']:<4} "
             f"mean={numbers['mean_ms']:8.2f} ms  "
-            f"p95={numbers['p95_ms']:8.2f} ms",
+            f"p95={numbers['p95_ms']:8.2f} ms  "
+            f"p99={numbers['p99_ms']:8.2f} ms",
             file=sys.stderr,
         )
     return 0

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.objective import ObjectiveWeights
 from repro.core.query import GroupQuery
 from repro.data.poi import CATEGORIES
+from repro.obs import stage
 from repro.profiles.group import GroupProfile
 
 
@@ -91,7 +92,7 @@ class PackageCache:
     def get(self, key: tuple):
         """The cached value for ``key``, refreshing its recency;
         ``None`` (and a counted miss) when absent."""
-        with self._lock:
+        with stage("cache_lookup"), self._lock:
             value = self._entries.get(key)
             if value is None:
                 self.misses += 1

@@ -36,6 +36,14 @@ from repro.core.package import TravelPackage
 from repro.core.query import DEFAULT_QUERY, GroupQuery
 from repro.core.refine import refine_batch
 from repro.data.poi import POI, Category
+from repro.obs import (
+    ObsConfig,
+    TraceContext,
+    Tracer,
+    current_activation,
+    stage,
+    use_activation,
+)
 from repro.profiles.group import GroupProfile
 from repro.service.cache import PackageCache, cache_key
 from repro.service.metrics import ServiceMetrics
@@ -90,12 +98,20 @@ class PackageService:
             a long-running service must cap them; beyond the bound
             :meth:`open_session` sheds with an ``overloaded`` error
             response rather than silently evicting a live session.
+        obs: Observability configuration (an
+            :class:`~repro.obs.ObsConfig`, a ready
+            :class:`~repro.obs.Tracer`, or ``None`` for the default
+            config: tracing on, no event log).  Every :meth:`dispatch`
+            call runs under a trace activation, so per-stage latency
+            histograms and slowest-trace rings populate without any
+            client opt-in.
     """
 
     def __init__(self, registry: CityRegistry | None = None,
                  cache_capacity: int = 256,
                  max_workers: int = _DEFAULT_BATCH_WORKERS,
-                 max_sessions: int = 1024) -> None:
+                 max_sessions: int = 1024,
+                 obs: ObsConfig | Tracer | None = None) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         if max_sessions < 1:
@@ -104,6 +120,8 @@ class PackageService:
         self.registry = registry or CityRegistry()
         self.cache = PackageCache(cache_capacity)
         self.metrics = ServiceMetrics()
+        self.tracer = (obs if isinstance(obs, Tracer)
+                       else (obs or ObsConfig()).make_tracer())
         self.max_workers = max_workers
         self._batch_pool: ThreadPoolExecutor | None = None
         self._batch_pool_lock = Lock()
@@ -165,12 +183,14 @@ class PackageService:
             hit = self.cache.get(key)
             cached = hit is not None
             if hit is None:
-                package = entry.builder.build(
-                    profile, request.query, k=request.k, seed=request.seed,
-                    weights=request.weights,
-                )
-                package_metrics = self._package_metrics(entry, package,
-                                                        profile)
+                with stage("assemble", city=entry.name):
+                    package = entry.builder.build(
+                        profile, request.query, k=request.k,
+                        seed=request.seed, weights=request.weights,
+                    )
+                with stage("package_metrics", city=entry.name):
+                    package_metrics = self._package_metrics(entry, package,
+                                                            profile)
                 self.cache.put(key, (package, package_metrics))
             else:
                 package, package_metrics = hit
@@ -208,7 +228,16 @@ class PackageService:
         if len(requests) <= 1:
             responses = [self.build(r) for r in requests]
         else:
-            responses = list(self._batch_executor().map(self.build, requests))
+            # Pool threads do not inherit the submitting context, so the
+            # active trace (if any) is re-bound inside each worker --
+            # batch-element spans then parent under the batch's trace.
+            activation = current_activation()
+
+            def serve(request: BuildRequest) -> PackageResponse:
+                with use_activation(activation):
+                    return self.build(request)
+
+            responses = list(self._batch_executor().map(serve, requests))
         self.metrics.record("build_batch", time.perf_counter() - start)
         return responses
 
@@ -220,6 +249,7 @@ class PackageService:
             pool, self._batch_pool = self._batch_pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        self.tracer.close()
 
     @staticmethod
     def _classify(exc: Exception) -> str:
@@ -238,8 +268,9 @@ class PackageService:
         latency = time.perf_counter() - start
         self.metrics.record("error", latency)
         message = str(exc) or exc.__class__.__name__
-        return PackageResponse(city=city, error=message,
-                               code=self._classify(exc),
+        code = self._classify(exc)
+        self.tracer.error(message, code=code, city=city)
+        return PackageResponse(city=city, error=message, code=code,
                                latency_ms=latency * 1000.0,
                                request_id=request_id, session_id=session_id)
 
@@ -369,7 +400,8 @@ class PackageService:
         profile, so subsequent GENERATE operators and
         :meth:`rebuild` calls are personalized by it."""
         session = self._session(session_id)
-        with session.lock, self.metrics.timed("refine"):
+        with session.lock, self.metrics.timed("refine"), \
+                stage("refine", city=session.entry.name):
             refined = refine_batch(session.profile,
                                    session.editor.interactions,
                                    session.entry.item_index)
@@ -417,7 +449,7 @@ class PackageService:
 
     #: Operations :meth:`dispatch` understands, mapped to handlers by name.
     DISPATCH_OPS = ("ping", "build", "batch", "open_session", "customize",
-                    "close_session", "warmup", "stats")
+                    "close_session", "warmup", "stats", "trace")
 
     def dispatch(self, op: str, payload: dict) -> dict:
         """Serve one wire-format operation: plain dicts in, plain dicts
@@ -428,12 +460,36 @@ class PackageService:
         nothing but picklable/JSON-able dicts ever crosses an executor.
         Malformed payloads come back as ``bad_request`` error dicts, not
         exceptions -- a worker process must survive any input.
+
+        A ``_trace`` key in the payload is the upstream trace context
+        (see :class:`~repro.obs.TraceContext`): the whole operation
+        runs as this process's portion of that trace, per-stage latency
+        lands in the tracer's histograms (queue wait included, derived
+        from the sender's hand-off stamp), and the response is stamped
+        with the ``trace_id``.  Without one, the service roots a trace
+        of its own, so direct dispatch callers get the same stage
+        accounting.
         """
+        ctx = None
+        if isinstance(payload, dict) and "_trace" in payload:
+            ctx = TraceContext.from_wire(payload.pop("_trace"))
+        with self.tracer.activate(f"serve:{op}", ctx):
+            result = self._dispatch_op(op, payload)
+        if ctx is not None and isinstance(result, dict):
+            # Echo the id only for requests that arrived with a wire
+            # context; self-rooted traces stay out of the response so
+            # direct dispatch callers see unchanged payloads.
+            result["trace_id"] = ctx.trace_id
+        return result
+
+    def _dispatch_op(self, op: str, payload: dict) -> dict:
         try:
             if op == "ping":
                 return {"ok": True}
             if op == "build":
-                return self.build(BuildRequest.from_dict(payload)).to_dict()
+                response = self.build(BuildRequest.from_dict(payload))
+                with stage("serialize", city=response.city or None):
+                    return response.to_dict()
             if op == "batch":
                 if len(payload["requests"]) > MAX_BATCH_REQUESTS:
                     return PackageResponse(
@@ -458,15 +514,18 @@ class PackageService:
                                         if isinstance(raw, dict) else None),
                         ).to_dict()
                 served = self.build_batch([request for _, request in parsed])
-                for (index, _), response in zip(parsed, served):
-                    slots[index] = response.to_dict()
+                with stage("serialize"):
+                    for (index, _), response in zip(parsed, served):
+                        slots[index] = response.to_dict()
                 return {"responses": slots}
             if op == "open_session":
-                return self.open_session(
-                    BuildRequest.from_dict(payload)
-                ).to_dict()
+                response = self.open_session(BuildRequest.from_dict(payload))
+                with stage("serialize", city=response.city or None):
+                    return response.to_dict()
             if op == "customize":
-                return self.apply(CustomizeRequest.from_dict(payload)).to_dict()
+                response = self.apply(CustomizeRequest.from_dict(payload))
+                with stage("serialize", city=response.city or None):
+                    return response.to_dict()
             if op == "close_session":
                 session_id = str(payload["session_id"])
                 try:
@@ -495,6 +554,10 @@ class PackageService:
                 return result
             if op == "stats":
                 return self.stats()
+            if op == "trace":
+                limit = payload.get("limit")
+                return {"traces": self.tracer.slowest_traces(
+                    None if limit is None else int(limit))}
             return PackageResponse(
                 city="", error=f"unknown operation {op!r}",
                 code=ErrorCode.BAD_REQUEST.value,
@@ -517,4 +580,5 @@ class PackageService:
             "cache": self.cache.stats(),
             "registry": self.registry.stats(),
             "metrics": self.metrics.snapshot(),
+            "obs": self.tracer.snapshot(),
         }

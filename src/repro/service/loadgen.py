@@ -25,6 +25,12 @@ it, with ``--store-build-only``), and ``--expect-hydrated`` asserts
 post-run -- via the server's merged stats -- that no shard paid an LDA
 fit, i.e. the whole run was served from disk-hydrated assets.
 
+The observability hooks (:mod:`repro.obs`): ``--trace`` tags every
+envelope with a deterministic client-side trace id, ``--expect-traced``
+asserts post-run that the merged stats carry finite per-stage latency
+percentiles, and ``--dump-slowest N`` fetches and prints the cluster's
+N slowest requests as span trees.
+
 ``build_workload(config)`` is pure and deterministic: same config,
 same action list, same JSON payloads -- byte for byte.  Runners exist
 for both transports: :func:`run_sync` drives any ``dispatch(op,
@@ -40,6 +46,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import math
 import random
 import sys
 import time
@@ -72,6 +79,11 @@ class LoadgenConfig:
             (required when the mix contains ``budget``).
         count_sweep: Attraction counts swept across build actions
             (empty = the fixed default of 3).
+        trace: Tag every envelope with a deterministic client-side
+            trace id (derived from the request id), so a captured
+            event log or slowest-trace dump correlates back to
+            workload actions.  Untagged requests are still traced --
+            the server mints ids -- but with server-chosen ids.
     """
 
     cities: tuple[str, ...] = ("paris", "barcelona")
@@ -85,6 +97,7 @@ class LoadgenConfig:
     passes: int = 1
     budget_sweep: tuple[float, ...] = ()
     count_sweep: tuple[int, ...] = ()
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if not self.cities:
@@ -201,7 +214,28 @@ def build_workload(config: LoadgenConfig) -> list[Action]:
                                           config.group_size, rid,
                                           attr_count=attr_for(spec)),
             }, edits=config.session_edits))
-    return actions * config.passes
+    if not config.trace:
+        return actions * config.passes
+    # Tag per (pass, action) -- a replayed action is a *new* request
+    # and must carry its own trace id, or the span trees of different
+    # passes would collide under one id.
+    tagged: list[Action] = []
+    for rep in range(config.passes):
+        for index, action in enumerate(actions):
+            trace_id = f"lg{config.seed:x}-{rep:x}-{index:x}"
+            tagged.append(_tag_action(action, trace_id))
+    return tagged
+
+
+def _tag_action(action: Action, trace_id: str) -> Action:
+    """A copy of ``action`` whose envelope carries a client trace id."""
+    trace = {"trace_id": trace_id}
+    if action.envelope is not None:
+        return Action(action.kind,
+                      envelope=dict(action.envelope, trace=trace))
+    return Action(action.kind,
+                  open_envelope=dict(action.open_envelope, trace=trace),
+                  edits=action.edits)
 
 
 # -- reports ------------------------------------------------------------------
@@ -215,6 +249,7 @@ class LoadgenReport:
     errors: int = 0
     shed: int = 0
     cached: int = 0
+    traced: int = 0
     failed_connections: int = 0
     by_kind: Counter = field(default_factory=Counter)
     error_codes: Counter = field(default_factory=Counter)
@@ -229,6 +264,8 @@ class LoadgenReport:
     def observe(self, kind: str, response: dict) -> None:
         self.sent += 1
         self.by_kind[kind] += 1
+        if response.get("trace_id") is not None:
+            self.traced += 1
         for unit in ([response] if "responses" not in response
                      else response["responses"]):
             error = unit.get("error")
@@ -252,6 +289,7 @@ class LoadgenReport:
         self.errors += other.errors
         self.shed += other.shed
         self.cached += other.cached
+        self.traced += other.traced
         self.failed_connections += other.failed_connections
         self.by_kind += other.by_kind
         self.error_codes += other.error_codes
@@ -265,6 +303,8 @@ class LoadgenReport:
                 f"({self.cached} cached), {self.errors} errors, "
                 f"{self.shed} shed; {self.wall_s:.2f}s wall "
                 f"({self.throughput:.1f} actions/s)")
+        if self.traced:
+            line += f"; {self.traced} traced"
         if self.failed_connections:
             line += f"; {self.failed_connections} connection(s) failed"
         if self.error_samples:
@@ -433,11 +473,15 @@ def _parse_ints(text: str) -> tuple[int, ...]:
     return tuple(int(p) for p in text.split(",") if p.strip())
 
 
-async def _fetch_stats(host: str, port: int, timeout: float) -> dict:
-    """One ``stats`` envelope against the live server."""
+async def _fetch_op(host: str, port: int, timeout: float, op: str,
+                    request: dict | None = None) -> dict:
+    """One envelope against the live server, outside the workload."""
     reader, writer = await _connect(host, port, timeout)
     try:
-        writer.write(json.dumps({"op": "stats"}).encode("utf-8") + b"\n")
+        envelope: dict = {"op": op}
+        if request is not None:
+            envelope["request"] = request
+        writer.write(json.dumps(envelope).encode("utf-8") + b"\n")
         await writer.drain()
         line = await reader.readline()
         if not line:
@@ -449,6 +493,72 @@ async def _fetch_stats(host: str, port: int, timeout: float) -> dict:
             await writer.wait_closed()
         except (ConnectionResetError, BrokenPipeError):
             pass
+
+
+async def _fetch_stats(host: str, port: int, timeout: float) -> dict:
+    """One ``stats`` envelope against the live server."""
+    return await _fetch_op(host, port, timeout, "stats")
+
+
+def _check_traced(stats: dict) -> list[str]:
+    """Problems with the claim "this run was traced end to end" --
+    empty when the merged cluster obs and the front-end's own tracer
+    both carry finite per-stage percentiles."""
+    problems: list[str] = []
+    checks = [
+        ("cluster", stats.get("obs", {}).get("stages", {}), "queue_wait"),
+        ("cluster", stats.get("obs", {}).get("stages", {}), "cache_lookup"),
+        ("front-end", stats.get("server", {}).get("obs", {})
+                           .get("stages", {}), "dispatch"),
+    ]
+    for where, table, name in checks:
+        if not table:
+            problems.append(f"{where} reports no stage histograms "
+                            "(server running with --no-obs?)")
+            continue
+        entry = table.get(name)
+        if not entry or not entry.get("count"):
+            problems.append(f"{where} stage {name!r} recorded nothing")
+            continue
+        for pct in ("p50_ms", "p99_ms"):
+            value = entry.get(pct)
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                problems.append(f"{where} stage {name!r} {pct} is not "
+                                f"finite: {value!r}")
+    return problems
+
+
+def _format_trace(trace: dict) -> str:
+    """One slowest-trace entry as an indented span tree."""
+    header = (f"trace {trace.get('trace_id')} "
+              f"{trace.get('duration_ms', 0.0):.2f}ms "
+              f"({trace.get('name')})")
+    spans = [s for s in trace.get("spans", ()) if isinstance(s, dict)]
+    ids = {span.get("span_id") for span in spans}
+    children: dict = {}
+    roots = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent in ids:
+            children.setdefault(parent, []).append(span)
+        else:
+            # Roots and orphans alike (a worker's portion references a
+            # front-end parent that lives in another process's ring).
+            roots.append(span)
+    lines = [header]
+
+    def walk(span: dict, depth: int) -> None:
+        city = f" [{span['city']}]" if span.get("city") else ""
+        error = f" ERROR: {span['error']}" if span.get("error") else ""
+        lines.append(f"{'  ' * depth}- {span.get('name')} "
+                     f"{span.get('duration_ms', 0.0):.2f}ms{city}{error}")
+        for child in sorted(children.get(span.get("span_id"), ()),
+                            key=lambda s: s.get("start_s", 0.0)):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: s.get("start_s", 0.0)):
+        walk(root, 1)
+    return "\n".join(lines)
 
 
 def _check_hydrated(stats: dict) -> list[str]:
@@ -517,6 +627,17 @@ def loadgen_main(argv: list[str] | None = None) -> int:
                              "exceeds it fails (hang detector)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero on any non-shed error response")
+    parser.add_argument("--trace", action="store_true",
+                        help="tag every envelope with a deterministic "
+                             "client-side trace id")
+    parser.add_argument("--dump-slowest", type=int, default=0, metavar="N",
+                        help="after the run, fetch and print the N slowest "
+                             "traces as span trees")
+    parser.add_argument("--expect-traced", action="store_true",
+                        help="after the run, fetch server stats and fail "
+                             "unless per-stage latency percentiles "
+                             "(queue wait, cache lookup, dispatch) are "
+                             "present and finite")
     args = parser.parse_args(argv)
 
     cities = tuple(c.strip().lower() for c in args.cities.split(",")
@@ -552,6 +673,7 @@ def loadgen_main(argv: list[str] | None = None) -> int:
         mix=mix,
         budget_sweep=budgets,
         count_sweep=_parse_ints(args.attr_counts) if args.attr_counts else (),
+        trace=args.trace,
     )
     workload = build_workload(config)
 
@@ -595,4 +717,38 @@ def loadgen_main(argv: list[str] | None = None) -> int:
             counters = stats["registry"]["counters"]
             print(f"hydration check ok: {counters.get('store_hits', 0)} "
                   "store hit(s), zero LDA fits", file=sys.stderr)
+    if args.expect_traced:
+        try:
+            stats = asyncio.run(_fetch_stats(args.host, args.port,
+                                             args.connect_timeout))
+        except (OSError, ConnectionError, json.JSONDecodeError) as exc:
+            print(f"--expect-traced: could not fetch stats: {exc}",
+                  file=sys.stderr)
+            return 1
+        problems = _check_traced(stats)
+        if problems:
+            print("--expect-traced failed: " + "; ".join(problems),
+                  file=sys.stderr)
+            status = 1
+        else:
+            stages = stats["obs"]["stages"]
+            queue = stages["queue_wait"]
+            print(f"trace check ok: queue_wait p50={queue['p50_ms']:.3f}ms "
+                  f"p99={queue['p99_ms']:.3f}ms over {queue['count']} "
+                  f"request(s); stages: {', '.join(sorted(stages))}",
+                  file=sys.stderr)
+    if args.dump_slowest:
+        try:
+            dump = asyncio.run(_fetch_op(
+                args.host, args.port, args.connect_timeout,
+                "trace", {"limit": args.dump_slowest},
+            ))
+        except (OSError, ConnectionError, json.JSONDecodeError) as exc:
+            print(f"--dump-slowest: could not fetch traces: {exc}",
+                  file=sys.stderr)
+            return 1
+        traces = dump.get("traces", [])
+        print(f"slowest {len(traces)} trace(s):", file=sys.stderr)
+        for trace in traces:
+            print(_format_trace(trace), file=sys.stderr)
     return status

@@ -2,9 +2,14 @@
 
 A :class:`ServiceMetrics` instance counts and times every operation the
 :class:`~repro.service.engine.PackageService` performs, keyed by
-operation name (``build``, ``build_cached``, ``customize`` ...).  A
-bounded window of recent samples per operation supports percentile
-estimates without unbounded memory; totals are exact.
+operation name (``build``, ``build_cached``, ``customize`` ...).  Each
+operation's latencies feed a log-bucketed
+:class:`~repro.obs.histogram.LogHistogram`, so percentile estimates
+(p50/p90/p95/p99) need no sample window and -- unlike the windowed
+estimates they replaced -- **merge exactly** across processes: a
+snapshot carries its raw bucket counts, and
+:func:`merge_snapshots` sums them, making cluster-wide percentiles as
+accurate as single-process ones.
 
 Everything is thread-safe: the batch path records from worker threads.
 
@@ -17,67 +22,28 @@ require sharing mutable state across the process boundary.
 from __future__ import annotations
 
 import time
-from collections import deque
 from collections.abc import Sequence
 from contextlib import contextmanager
 from threading import Lock
 
-#: Samples kept per operation for percentile estimates.
-_WINDOW = 1024
-
-
-class _OpStats:
-    """Counters for one operation name."""
-
-    __slots__ = ("count", "total_s", "min_s", "max_s", "recent")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.total_s = 0.0
-        self.min_s = float("inf")
-        self.max_s = 0.0
-        self.recent: deque[float] = deque(maxlen=_WINDOW)
-
-    def record(self, seconds: float) -> None:
-        self.count += 1
-        self.total_s += seconds
-        self.min_s = min(self.min_s, seconds)
-        self.max_s = max(self.max_s, seconds)
-        self.recent.append(seconds)
-
-    def snapshot(self) -> dict:
-        window = sorted(self.recent)
-
-        def pct(q: float) -> float:
-            index = min(int(q * len(window)), len(window) - 1)
-            return window[index] * 1000.0
-
-        return {
-            "count": self.count,
-            "total_ms": self.total_s * 1000.0,
-            "mean_ms": (self.total_s / self.count) * 1000.0,
-            "min_ms": self.min_s * 1000.0,
-            "max_ms": self.max_s * 1000.0,
-            "p50_ms": pct(0.50),
-            "p95_ms": pct(0.95),
-        }
+from repro.obs.histogram import LogHistogram, merge_snapshot_dicts
 
 
 class ServiceMetrics:
-    """Per-operation latency counters with percentile windows."""
+    """Per-operation latency histograms with exact counts."""
 
     def __init__(self) -> None:
-        self._ops: dict[str, _OpStats] = {}
+        self._ops: dict[str, LogHistogram] = {}
         self._lock = Lock()
         self._started = time.perf_counter()
 
     def record(self, op: str, seconds: float) -> None:
         """Count one completed operation of ``seconds`` wall clock."""
         with self._lock:
-            stats = self._ops.get(op)
-            if stats is None:
-                stats = self._ops[op] = _OpStats()
-            stats.record(seconds)
+            hist = self._ops.get(op)
+            if hist is None:
+                hist = self._ops[op] = LogHistogram()
+        hist.record(seconds)
 
     @contextmanager
     def timed(self, op: str):
@@ -90,14 +56,14 @@ class ServiceMetrics:
 
     def count(self, op: str) -> int:
         """Completed operations under one name (0 when unseen)."""
-        stats = self._ops.get(op)
-        return stats.count if stats else 0
+        hist = self._ops.get(op)
+        return hist.count if hist else 0
 
     def snapshot(self) -> dict:
         """All per-operation stats plus aggregate throughput."""
         with self._lock:
             elapsed = time.perf_counter() - self._started
-            ops = {name: stats.snapshot() for name, stats in self._ops.items()}
+            ops = {name: hist.snapshot() for name, hist in self._ops.items()}
         total = sum(stats["count"] for stats in ops.values())
         return {
             "uptime_s": elapsed,
@@ -111,30 +77,55 @@ def merge_snapshots(snapshots: Sequence[dict]) -> dict:
     """One cluster-wide view from per-shard :meth:`ServiceMetrics.snapshot`
     dicts.
 
-    Counts and totals are exact sums; min/max are exact extremes; the
-    merged mean is recomputed from the summed totals.  Percentiles
-    cannot be merged exactly from summaries, so p50/p95 are
-    count-weighted averages of the per-shard estimates -- close enough
-    for dashboards, and clearly an estimate, never used in assertions.
+    Counts, totals and extremes are exact sums/extremes, and because
+    each snapshot carries its histogram buckets the merged percentiles
+    are **exact** too -- identical to percentiles computed over the
+    union of observations, whatever the merge order.  (A snapshot
+    predating the histogram format -- no ``buckets`` key -- degrades to
+    a count-weighted percentile average rather than being dropped.)
     Uptime is the maximum across shards (they start together), so the
     merged throughput is aggregate operations over cluster wall clock.
     """
-    merged_ops: dict[str, dict] = {}
+    exact: dict[str, list[dict]] = {}
+    legacy: dict[str, dict] = {}
     for snapshot in snapshots:
         for name, stats in snapshot.get("operations", {}).items():
-            agg = merged_ops.get(name)
+            if "buckets" in stats:
+                exact.setdefault(name, []).append(stats)
+                continue
+            agg = legacy.get(name)
             if agg is None:
-                merged_ops[name] = dict(stats)
+                legacy[name] = dict(stats)
                 continue
             count = agg["count"] + stats["count"]
             agg["total_ms"] += stats["total_ms"]
             agg["min_ms"] = min(agg["min_ms"], stats["min_ms"])
             agg["max_ms"] = max(agg["max_ms"], stats["max_ms"])
             for pct in ("p50_ms", "p95_ms"):
-                agg[pct] = ((agg[pct] * agg["count"]
-                             + stats[pct] * stats["count"]) / count)
+                agg[pct] = (((agg[pct] * agg["count"]
+                              + stats[pct] * stats["count"]) / count)
+                            if count else 0.0)
             agg["count"] = count
-            agg["mean_ms"] = agg["total_ms"] / count
+            agg["mean_ms"] = agg["total_ms"] / count if count else 0.0
+
+    merged_ops: dict[str, dict] = {name: merge_snapshot_dicts(parts)
+                                   for name, parts in exact.items()}
+    for name, stats in legacy.items():
+        if name in merged_ops:
+            # Mixed formats for one op: fold the legacy totals in;
+            # percentiles stay the exact-side estimates.
+            agg = merged_ops[name]
+            count = agg["count"] + stats["count"]
+            agg["total_ms"] += stats["total_ms"]
+            agg["min_ms"] = (min(agg["min_ms"], stats["min_ms"])
+                             if agg["count"] and stats["count"]
+                             else agg["min_ms"] or stats["min_ms"])
+            agg["max_ms"] = max(agg["max_ms"], stats["max_ms"])
+            agg["count"] = count
+            agg["mean_ms"] = agg["total_ms"] / count if count else 0.0
+        else:
+            merged_ops[name] = stats
+
     uptime = max((s.get("uptime_s", 0.0) for s in snapshots), default=0.0)
     total = sum(stats["count"] for stats in merged_ops.values())
     return {

@@ -46,6 +46,7 @@ from repro.core.objective import ObjectiveWeights
 from repro.data.cities import city_names
 from repro.data.dataset import POIDataset
 from repro.data.synthetic import generate_city
+from repro.obs import stage
 from repro.profiles.consensus import ConsensusMethod
 from repro.profiles.generator import GroupGenerator
 from repro.profiles.group import GroupProfile
@@ -201,16 +202,18 @@ class CityRegistry:
             # builder seeds, failing requests far from the cause.
             raise ValueError(f"cannot serve city {city!r}: dataset is empty")
         if item_index is None:
-            item_index = ItemVectorIndex.fit(
-                dataset, lda_iterations=self.lda_iterations, seed=self.seed
-            )
+            with stage("lda_fit", city=city):
+                item_index = ItemVectorIndex.fit(
+                    dataset, lda_iterations=self.lda_iterations, seed=self.seed
+                )
             self._count("fits")
         # Registration-time precompute: every build for this city scores
         # against these arrays instead of the POI objects.  ``of`` (not
         # ``build``) so a pair already materialized elsewhere in the
         # process (e.g. a harness-owned GroupTravel) is shared, not
         # duplicated.
-        arrays = CityArrays.of(dataset, item_index)
+        with stage("arrays_build", city=city):
+            arrays = CityArrays.of(dataset, item_index)
         return self._assemble_entry(city, dataset, item_index, arrays)
 
     def _assemble_entry(self, city: str, dataset: POIDataset,
@@ -236,8 +239,9 @@ class CityRegistry:
         """
         if self.store is None:
             return None
-        assets = self.store.load(city, seed=self.seed, scale=self.scale,
-                                 lda_iterations=self.lda_iterations)
+        with stage("store_hydrate", city=city):
+            assets = self.store.load(city, seed=self.seed, scale=self.scale,
+                                     lda_iterations=self.lda_iterations)
         if assets is None:
             self._count("store_misses")
             return None
@@ -251,13 +255,14 @@ class CityRegistry:
         if self.store is None:
             return
         try:
-            self.store.save(
-                CityAssets(dataset=entry.dataset,
-                           item_index=entry.item_index,
-                           arrays=entry.arrays),
-                city=city, seed=self.seed, scale=self.scale,
-                lda_iterations=self.lda_iterations,
-            )
+            with stage("store_save", city=city):
+                self.store.save(
+                    CityAssets(dataset=entry.dataset,
+                               item_index=entry.item_index,
+                               arrays=entry.arrays),
+                    city=city, seed=self.seed, scale=self.scale,
+                    lda_iterations=self.lda_iterations,
+                )
         except OSError:
             pass
 
@@ -281,8 +286,9 @@ class CityRegistry:
                         return existing
                 entry = self._store_load(city)
                 if entry is None:
-                    dataset = generate_city(city, seed=self.seed,
-                                            scale=self.scale)
+                    with stage("city_generate", city=city):
+                        dataset = generate_city(city, seed=self.seed,
+                                                scale=self.scale)
                     entry = self._make_entry(city, dataset)
                     self._store_save(city, entry)
                 self._install(city, entry)

@@ -16,7 +16,7 @@ operations, stats/close-session dicts otherwise.  Requests on one
 connection are served **concurrently** (responses may interleave out of
 request order; correlate by ``id``/``request_id``).
 
-The front-end owns three serving concerns the cluster does not:
+The front-end owns four serving concerns the cluster does not:
 
 * **Parsing and validation**: unparseable lines and malformed
   envelopes come back as ``bad_request`` error lines -- a client can
@@ -26,6 +26,13 @@ The front-end owns three serving concerns the cluster does not:
   a structured ``overloaded`` error response (never queued, never
   hung), so saturation degrades into fast, explicit rejections that a
   client can back off on.
+* **Tracing** (:mod:`repro.obs`): every accepted request runs under a
+  trace -- minted here, or adopted from a ``"trace"`` member of the
+  envelope so clients can tag requests with their own ids -- whose
+  context rides the wire payload into the shard worker; responses are
+  stamped with the ``trace_id``, the ``trace`` op returns the merged
+  slowest span trees, and ``stats`` carries the front-end's own stage
+  histograms next to the cluster's.
 * **Graceful drain**: shutdown stops accepting connections, lets
   in-flight requests finish (bounded by a timeout), then closes
   connections and tears the cluster down.
@@ -41,6 +48,7 @@ import sys
 import time
 
 from repro.core.objective import ObjectiveWeights
+from repro.obs import ObsConfig, TraceContext, Tracer, current_activation, stage
 from repro.service.engine import PackageService
 from repro.service.registry import populate_store
 from repro.service.schema import ErrorCode, PackageResponse
@@ -77,13 +85,21 @@ class PackageServer:
         cluster: The serving backend (owns workers, routing, sessions).
         max_inflight: Bound on concurrently served requests; beyond it
             new requests are shed with ``overloaded``.
+        obs: Front-end observability -- an :class:`~repro.obs.ObsConfig`
+            (or a ready :class:`~repro.obs.Tracer`) for the tracer that
+            mints trace ids and times the front-end stages.  Shard
+            workers trace separately via :attr:`ShardConfig.obs
+            <repro.service.shard.ShardConfig.obs>`.
     """
 
-    def __init__(self, cluster: ShardCluster, max_inflight: int = 64) -> None:
+    def __init__(self, cluster: ShardCluster, max_inflight: int = 64,
+                 obs: ObsConfig | Tracer | None = None) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
         self.cluster = cluster
         self.max_inflight = max_inflight
+        self.tracer = (obs if isinstance(obs, Tracer)
+                       else (obs or ObsConfig()).make_tracer())
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._draining = False
@@ -142,19 +158,70 @@ class PackageServer:
         self.stats_counters["peak_inflight"] = max(
             self.stats_counters["peak_inflight"], self._inflight
         )
+        ctx = self._trace_context(envelope)
+        trace_limit = payload.get("limit") if op == "trace" else None
+        if op == "trace":
+            # The cluster must union untrimmed; this front-end applies
+            # the client's limit after folding in its own ring below.
+            payload = {k: v for k, v in payload.items() if k != "limit"}
         try:
-            response = await asyncio.wrap_future(self.cluster.submit(op, payload))
+            with self.tracer.activate(f"request:{op}", ctx) as act:
+                if act is None:
+                    response = await asyncio.wrap_future(
+                        self.cluster.submit(op, payload)
+                    )
+                else:
+                    # The wire context is cut inside the dispatch stage
+                    # so the worker's spans parent under it; its
+                    # hand-off stamp is what the worker turns into
+                    # queue_wait.
+                    with stage("dispatch"):
+                        payload = dict(
+                            payload,
+                            _trace=current_activation().child_wire(),
+                        )
+                        response = await asyncio.wrap_future(
+                            self.cluster.submit(op, payload)
+                        )
         except Exception as exc:  # worker/pool failure: answer, don't hang
             response = _error_line(f"dispatch failed: {exc}",
                                    ErrorCode.FAILED, envelope_id,
                                    payload.get("request_id"))
+            self.tracer.error(f"dispatch failed: {exc}",
+                              code=ErrorCode.FAILED.value)
         finally:
             self._inflight -= 1
+        if op == "trace":
+            # The cluster merged the workers' rings; fold in the
+            # front-end's own portions of those traces.
+            response = dict(response, traces=Tracer.merge_traces(
+                [response.get("traces", ()), self.tracer.slowest_traces()],
+                limit=int(trace_limit) if trace_limit is not None else 32,
+            ))
         if op == "stats":
             response = dict(response, server=self.stats())
+        if ctx is not None:
+            response = dict(response, trace_id=ctx.trace_id)
         if envelope_id is not None:
             response = dict(response, id=envelope_id)
         return response
+
+    def _trace_context(self, envelope: dict) -> TraceContext | None:
+        """The request's trace context: the envelope's own ``trace``
+        member (client-tagged ids still go through this tracer's
+        sampling election unless the client pinned a decision), else a
+        freshly minted one."""
+        if not self.tracer.enabled:
+            return None
+        raw = envelope.get("trace")
+        ctx = TraceContext.from_wire(raw)
+        if ctx is None:
+            return self.tracer.mint()
+        if isinstance(raw, dict) and "sampled" not in raw:
+            ctx = TraceContext(trace_id=ctx.trace_id, span_id=ctx.span_id,
+                               sent_s=ctx.sent_s,
+                               sampled=self.tracer.elects(ctx.trace_id))
+        return ctx
 
     async def _process_line(self, line: bytes, writer: asyncio.StreamWriter,
                             write_lock: asyncio.Lock) -> None:
@@ -270,12 +337,14 @@ class PackageServer:
         return self._inflight
 
     def stats(self) -> dict:
-        """Front-end counters (the cluster's live in its own stats)."""
+        """Front-end counters (the cluster's live in its own stats),
+        including the front-end tracer's stage histograms."""
         return dict(self.stats_counters,
                     inflight=self._inflight,
                     max_inflight=self.max_inflight,
                     connections_open=len(self._writers),
-                    draining=self._draining)
+                    draining=self._draining,
+                    obs=self.tracer.snapshot())
 
 
 async def serve_stdin(server: PackageServer, stdin=None, stdout=None) -> int:
@@ -298,6 +367,15 @@ async def serve_stdin(server: PackageServer, stdin=None, stdout=None) -> int:
 
 # -- CLI ----------------------------------------------------------------------
 
+def _obs_config(args: argparse.Namespace) -> ObsConfig:
+    return ObsConfig(
+        enabled=not args.no_obs,
+        sample_rate=args.obs_sample,
+        slowest=args.obs_slowest,
+        log_path=args.obs_log,
+    )
+
+
 def _build_cluster(args: argparse.Namespace) -> ShardCluster:
     config = ShardConfig(
         seed=args.seed, scale=args.scale,
@@ -306,6 +384,7 @@ def _build_cluster(args: argparse.Namespace) -> ShardCluster:
         cache_capacity=args.cache_capacity,
         store_path=args.store,
         max_cities=args.max_cities,
+        obs=_obs_config(args),
     )
     cities = [c.strip().lower() for c in args.cities.split(",") if c.strip()]
     return ShardCluster(shards=args.shards, config=config, cities=cities,
@@ -314,7 +393,8 @@ def _build_cluster(args: argparse.Namespace) -> ShardCluster:
 
 async def _serve_async(args: argparse.Namespace) -> int:
     cluster = _build_cluster(args)
-    server = PackageServer(cluster, max_inflight=args.max_inflight)
+    server = PackageServer(cluster, max_inflight=args.max_inflight,
+                           obs=_obs_config(args))
     try:
         if args.store and not args.no_warm and cluster.placement:
             # Pre-populate the persistent store *in the front-end* so
@@ -373,6 +453,7 @@ async def _serve_async(args: argparse.Namespace) -> int:
               f"peak in-flight {counters['peak_inflight']}", file=sys.stderr)
     finally:
         cluster.shutdown()
+        server.tracer.close()
     return 0
 
 
@@ -413,6 +494,20 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-warm", action="store_true",
                         help="skip fitting city assets before accepting "
                              "traffic")
+    parser.add_argument("--obs-log", default=None, metavar="PATH",
+                        help="NDJSON event log for spans and errors "
+                             "('-' = stderr); validate a captured log "
+                             "with 'python -m repro.obs.check'")
+    parser.add_argument("--obs-sample", type=float, default=1.0,
+                        metavar="RATE",
+                        help="fraction of traces elected for span "
+                             "collection and event logging (stage "
+                             "histograms always see every request)")
+    parser.add_argument("--obs-slowest", type=int, default=32,
+                        help="slowest-trace ring capacity per process "
+                             "(the 'trace' op returns the merged rings)")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable tracing entirely")
 
 
 def serve_main(argv: list[str] | None = None) -> int:

@@ -26,7 +26,8 @@ Routing rules:
   worker holds the session state).
 * ``batch`` requests are split per shard, served concurrently, and
   reassembled in request order.
-* ``stats`` fans out to every shard and merges.
+* ``stats`` and ``trace`` fan out to every shard and merge (latency
+  histograms bucket-exactly, slowest-trace rings by trace id).
 
 Each shard's pool has exactly one worker, so a shard serves its cities
 serially (its internal cache and FCM seed caches see every request) and
@@ -51,6 +52,7 @@ from threading import Lock
 from typing import Callable
 
 from repro.core.objective import ObjectiveWeights
+from repro.obs import ObsConfig, Tracer
 from repro.service.engine import MAX_BATCH_REQUESTS, PackageService
 from repro.service.metrics import merge_snapshots
 from repro.service.registry import CityRegistry
@@ -84,6 +86,10 @@ class ShardConfig:
     store_path: str | None = None
     #: LRU residency bound for each worker's private registry.
     max_cities: int | None = None
+    #: Observability knobs; each worker builds its own tracer from them
+    #: (:class:`~repro.obs.ObsConfig` is a frozen dataclass of plain
+    #: values, so the config stays picklable).
+    obs: ObsConfig | None = None
 
     def make_service(self) -> PackageService:
         """A fresh serving stack per this configuration (runs in the
@@ -96,7 +102,8 @@ class ShardConfig:
         )
         return PackageService(registry, cache_capacity=self.cache_capacity,
                               max_workers=self.batch_workers,
-                              max_sessions=self.max_sessions)
+                              max_sessions=self.max_sessions,
+                              obs=self.obs)
 
 
 # -- worker-process globals ---------------------------------------------------
@@ -114,6 +121,7 @@ def _init_worker(config: ShardConfig, shard_id: int) -> None:
     """
     global _WORKER_SERVICE, _WORKER_SHARD
     _WORKER_SERVICE = config.make_service()
+    _WORKER_SERVICE.tracer.shard = shard_id
     _WORKER_SHARD = shard_id
 
 
@@ -230,6 +238,8 @@ class _Shard:
         else:
             self._service = (service_factory(shard_id) if service_factory
                              else config.make_service())
+            if self._service is not None:
+                self._service.tracer.shard = shard_id
             self._pool = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix=f"shard-{shard_id}"
             )
@@ -417,6 +427,24 @@ class ShardCluster:
         if op == "stats":
             return _gather([s.submit("stats", {}) for s in self._shards],
                            self._combine_stats)
+        if op == "trace":
+            # Workers return their *full* rings and the limit applies
+            # only after the union: a worker-side trim could cut the
+            # worker's portion of a trace whose front-end portion (or a
+            # sibling sub-batch's) still ranks.  Rings are bounded, so
+            # "full" is still small.
+            limit = (payload.get("limit")
+                     if isinstance(payload, dict) else None)
+            worker_payload = {k: v for k, v in payload.items()
+                              if k != "limit"}
+            return _gather(
+                [s.submit("trace", dict(worker_payload))
+                 for s in self._shards],
+                lambda results: {"traces": Tracer.merge_traces(
+                    [r.get("traces", ()) for r in results],
+                    limit=int(limit) if limit is not None else None,
+                )},
+            )
         if op == "ping":
             return _gather([s.submit("ping", {}) for s in self._shards],
                            lambda results: {"ok": all(r.get("ok")
@@ -521,9 +549,16 @@ class ShardCluster:
         cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
         # Pool-rebuild counts live front-side (the worker that crashed
         # cannot report its own death); stamp them onto each shard's
-        # answer and total them.
+        # answer and total them.  Utilization is each shard's share of
+        # the cluster's completed operations -- the routing-skew gauge
+        # (guarded: a cluster that has served nothing is 0.0 everywhere).
+        total_ops = sum(r.get("metrics", {}).get("total_operations", 0)
+                        for r in results)
         for shard, result in zip(self._shards, results):
             result["restarted"] = shard.restarted
+            shard_ops = result.get("metrics", {}).get("total_operations", 0)
+            result["utilization"] = (shard_ops / total_ops if total_ops
+                                     else 0.0)
         registry: dict = {"counters": {}, "total_bytes": 0}
         for result in results:
             shard_registry = result.get("registry", {})
@@ -541,6 +576,7 @@ class ShardCluster:
             "cache": cache,
             "registry": registry,
             "metrics": merge_snapshots([r["metrics"] for r in results]),
+            "obs": Tracer.merge_obs([r.get("obs") for r in results]),
         }
 
     def stats(self) -> dict:

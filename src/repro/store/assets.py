@@ -53,6 +53,7 @@ import numpy as np
 from repro.core.arrays import CityArrays
 from repro.data.dataset import POIDataset
 from repro.data.poi import CATEGORIES, Category
+from repro.obs import stage
 from repro.profiles.schema import ProfileSchema
 from repro.profiles.vectors import ItemVectorIndex
 
@@ -187,7 +188,8 @@ class AssetStore:
         tmp = self.root / f".tmp-{key.dirname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
         tmp.mkdir()
         try:
-            self._write_payload(tmp, key, assets)
+            with stage("store_write", city=city):
+                self._write_payload(tmp, key, assets)
             try:
                 self._verify(final, key)
             except StoreCorruption:
@@ -300,7 +302,8 @@ class AssetStore:
             return None
         try:
             self._verify(entry, key)
-            assets = self._read_payload(entry)
+            with stage("store_read", city=city):
+                assets = self._read_payload(entry)
         except StoreCorruption:
             self._count("corrupt")
             return None

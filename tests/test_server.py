@@ -11,6 +11,8 @@ by hand, so they are deterministic.
 
 import asyncio
 import json
+import math
+import time
 from concurrent.futures import Future
 
 import pytest
@@ -415,6 +417,10 @@ class TestPackageServer:
                 await asyncio.sleep(0.01)
             op, payload, _ = stub.pending[0]
             assert op == "build"
+            # The front-end adds its trace context; the request body
+            # itself must ship unchanged.
+            wire_trace = payload.pop("_trace")
+            assert wire_trace["trace_id"]
             assert payload == {"city": "paris", "group_spec": {"size": 3}}
             stub.resolve(0)
             assert (await _read_line(reader))["error"] is None
@@ -476,6 +482,113 @@ class TestPackageServer:
     def test_validation(self, cluster):
         with pytest.raises(ValueError):
             PackageServer(cluster, max_inflight=0)
+
+
+# -- end-to-end tracing --------------------------------------------------------
+
+class TestTracing:
+    def test_client_tagged_trace_spans_the_whole_stack(self, cluster):
+        """A client-tagged build traced front-end -> shard -> engine:
+        the response echoes the trace id and the ``trace`` op returns
+        one unioned span tree covering both sides of the wire."""
+        from repro.obs.check import check_log_lines
+
+        async def scenario():
+            server = PackageServer(cluster)
+            host, port = await server.start(port=0)
+            reader, writer = await _client(host, port)
+            await _send_line(writer, {
+                "op": "build", "id": "tagged",
+                "request": spec_payload("paris", seed=41),
+                "trace": {"trace_id": "e2e-client-1"},
+            })
+            response = await _read_line(reader, timeout=30)
+            assert response["id"] == "tagged" and response["error"] is None
+            assert response["trace_id"] == "e2e-client-1"
+
+            await _send_line(writer, {"op": "trace"})
+            traces = (await _read_line(reader, timeout=30))["traces"]
+            mine = [t for t in traces if t["trace_id"] == "e2e-client-1"]
+            assert mine, [t["trace_id"] for t in traces]
+            spans = mine[0]["spans"]
+            names = {s["name"] for s in spans}
+            # Front-end portion and worker portion in one tree.
+            assert {"request:build", "dispatch",
+                    "queue_wait", "serve:build"} <= names
+            assert "serialize" in names
+            # The union is a well-formed tree: unique span ids, one
+            # root, every parent resolves.
+            summary, problems = check_log_lines(
+                json.dumps(dict(s, kind="span")) for s in spans)
+            assert problems == []
+            assert summary["traces"] == 1
+            writer.close()
+            await writer.wait_closed()
+            await server.drain(timeout=1)
+            server.tracer.close()
+
+        asyncio.run(scenario())
+
+    def test_trace_limit_applies_after_the_union(self, cluster):
+        async def scenario():
+            server = PackageServer(cluster)
+            host, port = await server.start(port=0)
+            reader, writer = await _client(host, port)
+            for seed in (51, 52, 53):
+                await _send_line(writer, {
+                    "op": "build",
+                    "request": spec_payload("paris", seed=seed),
+                    "trace": {"trace_id": f"e2e-limit-{seed}"},
+                })
+                await _read_line(reader, timeout=30)
+            await _send_line(writer, {"op": "trace",
+                                      "request": {"limit": 1}})
+            traces = (await _read_line(reader, timeout=30))["traces"]
+            assert len(traces) == 1
+            # The survivor still carries worker spans: the limit must
+            # not have trimmed the union's inputs shard-side.
+            names = {s["name"] for s in traces[0]["spans"]}
+            assert "serve:build" in names or "serve:stats" in names \
+                or "request:build" in names
+            writer.close()
+            await writer.wait_closed()
+            await server.drain(timeout=1)
+            server.tracer.close()
+
+        asyncio.run(scenario())
+
+    def test_stats_carry_merged_obs_and_utilization(self, cluster):
+        cluster.dispatch("build", spec_payload("paris", seed=61))
+        cluster.dispatch("build", spec_payload("barcelona", seed=61))
+        stats = cluster.stats()
+        obs = stats["obs"]
+        assert obs["stages"]["cache_lookup"]["count"] >= 2
+        for numbers in obs["stages"].values():
+            assert math.isfinite(numbers["p99_ms"])
+            assert numbers["p99_ms"] >= 0.0
+        assert obs["counters"]["traces"] >= 2
+        shares = [s["utilization"] for s in stats["shards"]]
+        assert all(0.0 <= u <= 1.0 for u in shares)
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_cluster_trace_op_reaches_worker_rings(self, cluster):
+        wire = {"trace_id": "direct-dispatch-1",
+                "sent_s": time.perf_counter()}
+        response = cluster.dispatch(
+            "build", dict(spec_payload("paris", seed=67), _trace=wire))
+        assert response["trace_id"] == "direct-dispatch-1"
+        traces = cluster.dispatch("trace", {})["traces"]
+        mine = [t for t in traces if t["trace_id"] == "direct-dispatch-1"]
+        assert mine
+        names = {s["name"] for s in mine[0]["spans"]}
+        assert {"serve:build", "queue_wait"} <= names
+
+    def test_untagged_dispatch_gets_no_trace_id(self, cluster):
+        response = cluster.dispatch("ping", {})
+        assert response["ok"] is True
+        assert "trace_id" not in response
+        built = cluster.dispatch("build", spec_payload("paris", seed=71))
+        assert "trace_id" not in built
 
 
 # -- the load generator --------------------------------------------------------
