@@ -13,6 +13,7 @@ Two knobs the reproduction had to pick without paper pseudo-code:
 
 import pytest
 
+import telemetry
 from repro.core.kfc import KFCBuilder
 from repro.core.objective import evaluate_objective
 from repro.core.query import DEFAULT_QUERY
@@ -39,6 +40,9 @@ def test_refine_iterations_ablation(benchmark, setup, iterations):
     print(f"\nrefine_iterations={iterations}: objective={value:.2f}, "
           f"R={package.representativity():.2f} km, "
           f"intra-CI={package.raw_cohesiveness_sum():.2f} km")
+    telemetry.emit("ablation", telemetry.record(
+        "refine_iterations", iterations=iterations, objective=float(value),
+        representativity_km=float(package.representativity())))
     assert package.is_valid(DEFAULT_QUERY)
 
 

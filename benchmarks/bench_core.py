@@ -19,6 +19,7 @@ import time
 
 import numpy as np
 
+import telemetry
 from repro.core.assembly import assemble_composite_item
 from repro.core.kfc import KFCBuilder
 from repro.core.query import DEFAULT_QUERY
@@ -142,6 +143,8 @@ if pytest is not None:
         report = compare_cold_build(paris_app.dataset,
                                     paris_app.item_index, group_profile)
         _print_report(report)
+        telemetry.emit("core", telemetry.record("cold_build_speedup",
+                                                **report))
         assert report["identical"], "array and object paths diverged"
         assert report["speedup"] >= MIN_SPEEDUP, (
             f"cold-build speedup {report['speedup']:.2f}x is below the "
@@ -176,6 +179,8 @@ def main(argv=None) -> int:
     report = compare_cold_build(dataset, item_index, profile,
                                 repeats=args.repeats)
     _print_report(report)
+    telemetry.emit("core", telemetry.record("cold_build_speedup_cli",
+                                            scale=args.scale, **report))
     if not report["identical"]:
         print("FAIL: array and object paths diverged", file=sys.stderr)
         return 1

@@ -8,6 +8,7 @@ head-to-head (vectorized), and the error bound is asserted.
 import numpy as np
 import pytest
 
+import telemetry
 from repro.data.cities import get_template
 from repro.experiments import distance_perf
 from repro.geo.distance import equirectangular_km, haversine_km
@@ -48,6 +49,8 @@ def test_precision_claim(benchmark, city_pairs):
 
     max_rel_error = benchmark.pedantic(measure, iterations=1, rounds=1)
     print(f"\nmax relative error: {max_rel_error * 100:.5f}%")
+    telemetry.emit("distance", telemetry.record(
+        "precision_claim", max_rel_error=max_rel_error, n_pairs=_N))
     assert max_rel_error < 0.001  # the paper's 0.1% bound
 
 
@@ -57,5 +60,8 @@ def test_distance_perf_report(benchmark):
                                 iterations=1, rounds=1)
     print()
     print(result.render())
+    telemetry.emit("distance", telemetry.record(
+        "distance_perf", vector_speedup=result.vector_speedup,
+        max_relative_error=result.max_relative_error))
     assert result.vector_speedup > 1.0
     assert result.max_relative_error < 0.001

@@ -1,5 +1,6 @@
 """Benchmark + regeneration of Figure 1 (the budgeted 5-day Paris TP)."""
 
+import telemetry
 from repro.experiments import figure1
 
 
@@ -8,6 +9,9 @@ def test_figure1_budgeted_package(benchmark, bench_ctx):
                                 iterations=1, rounds=1)
     print()
     print(result.render())
+    telemetry.emit("figure1", telemetry.record(
+        "figure1_budgeted_package", k=result.package.k,
+        budget=float(result.query.budget)))
 
     assert result.package.k == 5
     assert result.package.is_valid(result.query)

@@ -1,5 +1,6 @@
 """Benchmark + regeneration of Figure 3 (customization operators)."""
 
+import telemetry
 from repro.experiments import figure3
 
 
@@ -8,6 +9,9 @@ def test_figure3_customization_operators(benchmark, bench_ctx):
                                 iterations=1, rounds=1)
     print()
     print(result.render())
+    telemetry.emit("figure3", telemetry.record(
+        "figure3_customization", operators=len(result.log),
+        k_before=result.before.k, k_after=result.after.k))
 
     # All four operators appeared and the package gained the GENERATE CI.
     kinds = {entry.split("(")[0] for entry in result.log}

@@ -17,6 +17,7 @@ import time
 
 import pytest
 
+import telemetry
 from repro.core.query import DEFAULT_QUERY
 from repro.service import BuildRequest, CityRegistry, GroupSpec, PackageService
 
@@ -125,4 +126,8 @@ def test_warm_cache_speedup(service, repeat_request):
     print(f"\nwarm-cache speedup: {speedup:.0f}x "
           f"(cold {cold_total / repeats * 1000:.2f} ms, "
           f"warm {warm_total / repeats * 1000:.4f} ms)")
+    telemetry.emit("service", telemetry.record(
+        "warm_cache_speedup", speedup=speedup,
+        cold_ms=cold_total / repeats * 1000,
+        warm_ms=warm_total / repeats * 1000))
     assert speedup >= 5.0

@@ -29,6 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
+import telemetry
 from repro.core.query import DEFAULT_QUERY
 from repro.profiles.generator import GroupGenerator
 from repro.service.registry import CityRegistry
@@ -120,6 +121,8 @@ if pytest is not None:
         report = compare_warm_start(tmp_path / "assets", scale=0.25,
                                     lda_iterations=25, repeats=3)
         _print_report(report)
+        telemetry.emit("store", telemetry.record("warm_start_speedup",
+                                                 **report))
         assert report["identical"], "hydrated entry is not byte-identical"
         assert report["speedup"] >= MIN_SPEEDUP, (
             f"store hydration only {report['speedup']:.1f}x faster than a "
@@ -151,6 +154,8 @@ def main(argv=None) -> int:
         if args.store is None:
             shutil.rmtree(root, ignore_errors=True)
     _print_report(report)
+    telemetry.emit("store", telemetry.record("warm_start_speedup_cli",
+                                             scale=args.scale, **report))
     if not report["identical"]:
         print("FAIL: hydrated entry is not byte-identical", file=sys.stderr)
         return 1

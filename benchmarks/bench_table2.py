@@ -7,6 +7,7 @@ rendered table is printed so running with ``-s`` reproduces the paper
 artifact.
 """
 
+import telemetry
 from repro.experiments import table2
 from repro.experiments.synthetic_sweep import run_sweep
 
@@ -17,6 +18,9 @@ def test_table2_sweep(benchmark, bench_ctx):
     result = table2.run(bench_ctx, sweep=sweep)
     print()
     print(result.render())
+    telemetry.emit("table2", telemetry.record(
+        "table2_sweep", cells=len(result.cells),
+        anova_p_significant=bool(result.anova["P"].significant)))
 
     # Shape assertions from the paper's Section 4.3.2 narrative:
     # disagreement-based methods lead, least misery trails.

@@ -1,5 +1,6 @@
 """Benchmark + regeneration of Table 3 (median-user agreement)."""
 
+import telemetry
 from repro.experiments import table3
 from repro.experiments.synthetic_sweep import run_sweep
 
@@ -10,6 +11,8 @@ def test_table3_median_agreement(benchmark, bench_ctx):
                                 iterations=1, rounds=1)
     print()
     print(result.render())
+    telemetry.emit("table3", telemetry.record(
+        "table3_median_agreement", cells=len(result.cells)))
 
     # Section 4.3.3: agreement degrades as (non-uniform) groups grow --
     # individual preferences fade out in large groups.

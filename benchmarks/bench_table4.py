@@ -1,5 +1,6 @@
 """Benchmark + regeneration of Table 4 (user study, independent)."""
 
+import telemetry
 from repro.experiments import table4
 from repro.experiments.user_study import run_user_study
 
@@ -10,6 +11,8 @@ def test_table4_independent_evaluation(benchmark, bench_ctx):
     result = table4.run(bench_ctx, study=study)
     print()
     print(result.render())
+    telemetry.emit("table4", telemetry.record(
+        "table4_independent_evaluation", cells=len(study.cells)))
 
     # Section 4.4.3: personalized packages are liked better than the
     # random and non-personalized ones.

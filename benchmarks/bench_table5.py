@@ -1,5 +1,6 @@
 """Benchmark + regeneration of Table 5 (user study, comparative)."""
 
+import telemetry
 from repro.experiments import table5
 from repro.experiments.user_study import run_user_study
 
@@ -13,6 +14,8 @@ def test_table5_comparative_evaluation(benchmark, bench_ctx):
     result = benchmark.pedantic(derive, iterations=1, rounds=1)
     print()
     print(result.render())
+    telemetry.emit("table5", telemetry.record(
+        "table5_comparative_evaluation", cells=len(study.cells)))
 
     # Section 4.4.3: personalized variants dominate the
     # non-personalized package for uniform groups.

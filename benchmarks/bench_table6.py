@@ -1,5 +1,6 @@
 """Benchmark + regeneration of Table 6 (customization, independent)."""
 
+import telemetry
 from repro.experiments import table6
 from repro.experiments.customization_study import run_customization_study
 
@@ -10,6 +11,8 @@ def test_table6_customized_packages(benchmark, bench_ctx):
     result = table6.run(bench_ctx, study=study)
     print()
     print(result.render())
+    telemetry.emit("table6", telemetry.record(
+        "table6_customized_packages", cells=len(study.cells)))
 
     # Ratings land on the usable part of the scale for both groups and
     # the refined packages are not worse than the unrefined control.

@@ -1,5 +1,6 @@
 """Benchmark + regeneration of Table 7 (customization, comparative)."""
 
+import telemetry
 from repro.experiments import table7
 from repro.experiments.customization_study import run_customization_study
 
@@ -13,6 +14,8 @@ def test_table7_strategy_comparison(benchmark, bench_ctx):
     result = benchmark.pedantic(derive, iterations=1, rounds=1)
     print()
     print(result.render())
+    telemetry.emit("table7", telemetry.record(
+        "table7_strategy_comparison", cells=len(study.cells)))
 
     # Supremacy percentages are well-formed for every pair.
     for uniform in (True, False):

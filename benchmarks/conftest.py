@@ -10,14 +10,22 @@ times a serving/core hot path.  Two context scales are provided:
 * The printed tables come from the same runners the CLI uses, so
   ``pytest benchmarks/ --benchmark-only -s`` shows the reproduced
   artifacts alongside the timings.
+
+Every run also persists structured telemetry: a ``pytest`` hook
+records each bench test's outcome and duration into
+``BENCH_<module>.json`` via :mod:`telemetry` (the shared writer the
+standalone gates use too), so the bench trajectory survives the
+terminal scrollback.
 """
 
 from __future__ import annotations
 
 import os
+from collections import defaultdict
 
 import pytest
 
+import telemetry
 from repro.experiments.context import ExperimentConfig, ExperimentContext
 
 
@@ -37,3 +45,43 @@ def bench_ctx() -> ExperimentContext:
     # experiment itself rather than fixture construction.
     ctx.app("paris")
     return ctx
+
+
+# -- structured telemetry -----------------------------------------------------
+
+#: Per-bench-module records accumulated during the run; flushed once at
+#: session end so a 14-module sweep does 14 writes, not one per test.
+_RUN_RECORDS: dict[str, list[dict]] = defaultdict(list)
+
+
+def _bench_name(nodeid: str) -> str | None:
+    """``benchmarks/bench_server.py::test_x[...]`` -> ``server``."""
+    module = nodeid.split("::", 1)[0].rsplit("/", 1)[-1]
+    if module.startswith("bench_") and module.endswith(".py"):
+        return module[len("bench_"):-len(".py")]
+    return None
+
+
+def pytest_runtest_logreport(report: pytest.TestReport) -> None:
+    """Record every bench test's outcome + duration (setup failures and
+    errors included: a bench that never ran is itself a data point)."""
+    if report.when != "call" and report.outcome == "passed":
+        return  # setup/teardown noise; only failures there are news
+    bench = _bench_name(report.nodeid)
+    if bench is None:
+        return
+    _RUN_RECORDS[bench].append(telemetry.record(
+        report.nodeid.split("::", 1)[-1],
+        outcome=report.outcome,
+        when=report.when,
+        duration_s=float(report.duration),
+    ))
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    for bench, records in sorted(_RUN_RECORDS.items()):
+        try:
+            telemetry.emit(bench, *records)
+        except OSError as exc:  # telemetry must never fail the bench run
+            print(f"telemetry write failed for {bench}: {exc}")
+    _RUN_RECORDS.clear()

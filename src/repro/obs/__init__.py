@@ -13,9 +13,18 @@ Three pieces, designed to cross process boundaries cleanly:
   so cluster-wide p50/p90/p99 are real percentiles, not averages of
   per-shard estimates.
 * **Event log** (:mod:`repro.obs.events`): a sampled NDJSON stream
-  (stderr or file) with one JSON record per span or error;
-  ``python -m repro.obs.check`` validates a captured log (well-formed
-  lines, complete span trees).
+  (stderr or file) with one JSON record per span, error or closed
+  metric window; ``python -m repro.obs.check`` validates a captured
+  log (well-formed lines, complete span trees, monotone
+  non-overlapping metric windows).
+* **Windowed telemetry** (:mod:`repro.obs.metrics`): counters, gauges
+  and histogram series in epoch-aligned ring-buffer windows that merge
+  exactly across shards, answering "what is happening right now"
+  rather than "what happened since boot"; :mod:`repro.obs.resources`
+  samples per-process RSS/CPU/GC gauges into them, and
+  :mod:`repro.obs.slo` turns rolling windows into an
+  ``ok|degraded|breached`` health verdict with machine-readable
+  reasons.  ``python -m repro.obs.top`` renders the live cluster view.
 
 :class:`ObsConfig` is the picklable knob bundle the serving tier ships
 to worker processes; each worker builds its own :class:`Tracer` from
@@ -29,6 +38,18 @@ from dataclasses import dataclass
 
 from repro.obs.events import EventLog
 from repro.obs.histogram import LogHistogram, merge_snapshot_dicts
+from repro.obs.metrics import (
+    MetricsRegistry,
+    WindowConfig,
+    merge_metrics_snapshots,
+    window_gauge_last,
+    window_gauge_rate,
+    window_histogram,
+    window_rate,
+    window_sum,
+)
+from repro.obs.resources import ResourceSampler
+from repro.obs.slo import SLOConfig, SLOMonitor, merge_verdicts, worst_state
 from repro.obs.trace import (
     SlowTraceRing,
     Span,
@@ -78,15 +99,28 @@ class ObsConfig:
 __all__ = [
     "EventLog",
     "LogHistogram",
+    "MetricsRegistry",
     "ObsConfig",
+    "ResourceSampler",
+    "SLOConfig",
+    "SLOMonitor",
     "SlowTraceRing",
     "Span",
     "TraceContext",
     "Tracer",
+    "WindowConfig",
     "current_activation",
+    "merge_metrics_snapshots",
     "merge_snapshot_dicts",
+    "merge_verdicts",
     "new_span_id",
     "new_trace_id",
     "stage",
     "use_activation",
+    "window_gauge_last",
+    "window_gauge_rate",
+    "window_histogram",
+    "window_rate",
+    "window_sum",
+    "worst_state",
 ]

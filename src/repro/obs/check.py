@@ -9,11 +9,18 @@ verifies the structural invariants the observability layer promises:
 * every trace forms a **complete span tree**: exactly one root span
   (no parent) and every other span's ``parent_id`` resolving to a span
   of the same trace -- a broken link means some layer dropped or
-  mis-threaded its context.
+  mis-threaded its context;
+* every ``metrics`` window record is well formed, and per
+  ``(pid, series)`` the emitted window starts are epoch-aligned to the
+  declared interval, strictly increasing and therefore non-overlapping
+  -- a violation means a registry rotated backwards or double-emitted
+  a window.
 
 Exits non-zero (listing the first few problems) when any invariant
 fails, so CI can gate on a captured log; ``--min-traces`` additionally
-enforces that a load run actually produced traces.
+enforces that a load run actually produced traces.  ``--json`` prints
+the summary and every problem as one machine-readable JSON object on
+stdout for tooling that wants more than the exit code.
 """
 
 from __future__ import annotations
@@ -32,8 +39,10 @@ def check_log_lines(lines) -> tuple[dict, list[str]]:
     """
     problems: list[str] = []
     spans_by_trace: dict[str, list[dict]] = {}
+    windows_by_series: dict[tuple, list[tuple[int, dict]]] = {}
     records = 0
     errors = 0
+    metric_records = 0
     for number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -50,6 +59,28 @@ def check_log_lines(lines) -> tuple[dict, list[str]]:
         kind = record["kind"]
         if kind == "error":
             errors += 1
+            continue
+        if kind == "metrics":
+            metric_records += 1
+            series = record.get("series")
+            start = record.get("start_s")
+            interval = record.get("interval_s")
+            if not isinstance(series, str) or not series:
+                problems.append(f"line {number}: metrics record without "
+                                f"a series name")
+                continue
+            if (not isinstance(start, (int, float))
+                    or not math.isfinite(start)):
+                problems.append(f"line {number}: metrics window for "
+                                f"{series} has bad start {start!r}")
+                continue
+            if (not isinstance(interval, (int, float))
+                    or not math.isfinite(interval) or interval <= 0):
+                problems.append(f"line {number}: metrics window for "
+                                f"{series} has bad interval {interval!r}")
+                continue
+            key = (record.get("pid"), series)
+            windows_by_series.setdefault(key, []).append((number, record))
             continue
         if kind != "span":
             continue
@@ -87,11 +118,37 @@ def check_log_lines(lines) -> tuple[dict, list[str]]:
                     f"({span.get('name')}) has dangling parent {parent}"
                 )
 
+    for (pid, series), windows in windows_by_series.items():
+        label = f"series {series} (pid {pid})"
+        previous_end = -math.inf
+        for number, record in windows:
+            start = float(record["start_s"])
+            interval = float(record["interval_s"])
+            # Epoch alignment: start must sit on an interval boundary
+            # (within float slack) or cross-process merges cannot align.
+            remainder = math.remainder(start, interval)
+            if abs(remainder) > 1e-6 * max(1.0, interval):
+                problems.append(
+                    f"line {number}: {label} window start {start} is not "
+                    f"aligned to interval {interval}"
+                )
+            if start < previous_end:
+                problems.append(
+                    f"line {number}: {label} window start {start} "
+                    f"overlaps the previous window (ends {previous_end})"
+                    if start > previous_end - interval else
+                    f"line {number}: {label} window starts went "
+                    f"backwards ({start} after {previous_end - interval})"
+                )
+            previous_end = start + interval
+
     summary = {
         "records": records,
         "errors": errors,
         "traces": len(spans_by_trace),
         "spans": sum(len(spans) for spans in spans_by_trace.values()),
+        "metric_windows": metric_records,
+        "metric_series": len(windows_by_series),
     }
     return summary, problems
 
@@ -105,6 +162,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-traces", type=int, default=0,
                         help="fail unless at least this many complete "
                              "traces are present")
+    parser.add_argument("--json", action="store_true",
+                        help="print the summary and all problems as one "
+                             "JSON object on stdout")
     args = parser.parse_args(argv)
 
     try:
@@ -114,12 +174,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"cannot read {args.log}: {exc}", file=sys.stderr)
         return 2
 
-    print(f"{args.log}: {summary['records']} records, "
-          f"{summary['traces']} traces, {summary['spans']} spans, "
-          f"{summary['errors']} error events", file=sys.stderr)
     if summary["traces"] < args.min_traces:
         problems.append(f"only {summary['traces']} traces, expected at "
                         f"least {args.min_traces}")
+    if args.json:
+        print(json.dumps({"log": args.log, "ok": not problems,
+                          "summary": summary, "problems": problems}))
+        return 1 if problems else 0
+    print(f"{args.log}: {summary['records']} records, "
+          f"{summary['traces']} traces, {summary['spans']} spans, "
+          f"{summary['metric_windows']} metric windows, "
+          f"{summary['errors']} error events", file=sys.stderr)
     if problems:
         for problem in problems[:10]:
             print(f"  PROBLEM: {problem}", file=sys.stderr)

@@ -1,0 +1,406 @@
+"""Windowed time-series telemetry: counters, gauges and histograms
+sampled into fixed-interval ring-buffer windows.
+
+The cumulative snapshots of :mod:`repro.obs.trace` and
+:mod:`repro.service.metrics` answer "what happened since boot"; this
+module answers "what is happening *right now*" -- the p99 of the last
+30 seconds, the shed rate of the last window, whether a shard's RSS is
+still climbing.  A :class:`MetricsRegistry` holds named series of three
+kinds:
+
+* **counter** -- monotone event counts per window (requests, errors,
+  sheds, cache hits);
+* **gauge**   -- sampled instantaneous values per window (RSS, CPU
+  seconds, open sessions, queue depth), kept as last/min/max/sum/n so
+  merged views can report both totals and extremes;
+* **histogram** -- one :class:`~repro.obs.histogram.LogHistogram` per
+  window, so windowed percentiles inherit the histogram layer's
+  **exact-merge** guarantee: cluster-wide windowed p99 equals the p99
+  of the union of the shards' observations for that window.
+
+Windows are **epoch-aligned**: a sample at time ``t`` lands in the
+window starting at ``floor(t / interval) * interval``.  Every process
+therefore agrees on window boundaries without any coordination -- the
+same trick the tracer uses for sampling election -- which is what makes
+per-shard windows mergeable front-side by plain start-key alignment
+(:func:`merge_metrics_snapshots`).
+
+The ring keeps the most recent ``slots`` windows per series.  Rotation
+is lazy (no background thread): recording into a new window retires
+older slots.  A **late** sample whose window still lives in the ring is
+recorded into that window -- out-of-order arrival does not corrupt
+alignment -- while a sample older than the whole ring is dropped and
+counted in ``dropped_late``.
+
+When the registry is given an :class:`~repro.obs.events.EventLog`, each
+series emits one ``kind="metrics"`` NDJSON record as its current window
+closes (a later window opens), carrying the finished window's data.
+``python -m repro.obs.check`` validates these records: per
+``(pid, series)`` the window starts must be strictly increasing,
+interval-aligned and non-overlapping.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from threading import Lock
+
+from repro.obs.events import EventLog
+from repro.obs.histogram import (
+    LogHistogram,
+    merge_snapshot_dicts,
+    snapshot_dict,
+)
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Shape of the telemetry ring: ``slots`` windows of ``interval_s``.
+
+    The defaults (10s x 60 slots) retain ten minutes of history at a
+    resolution that still catches a 30-second p99 regression.  Tests
+    shrink the interval so rotation happens in milliseconds.
+    """
+
+    interval_s: float = 10.0
+    slots: int = 60
+
+    def __post_init__(self) -> None:
+        if not (self.interval_s > 0 and math.isfinite(self.interval_s)):
+            raise ValueError("window interval must be a positive number")
+        if self.slots < 2:
+            raise ValueError("a window ring needs at least 2 slots")
+
+    def start_for(self, ts: float) -> float:
+        """The epoch-aligned start of the window containing ``ts``."""
+        return math.floor(ts / self.interval_s) * self.interval_s
+
+    @property
+    def span_s(self) -> float:
+        """Wall-clock coverage of a full ring."""
+        return self.interval_s * self.slots
+
+
+class _Series:
+    """One named series: a bounded ``{window_start: slot}`` ring."""
+
+    __slots__ = ("name", "kind", "windows", "latest_start")
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.windows: dict[float, object] = {}
+        self.latest_start = -math.inf
+
+    def slot_payload(self, start: float) -> dict:
+        """The JSON-ready record for one window (no ``start_s`` key)."""
+        slot = self.windows[start]
+        if self.kind == "counter":
+            return {"value": slot}
+        if self.kind == "gauge":
+            return dict(slot)  # type: ignore[call-overload]
+        return slot.snapshot()  # type: ignore[union-attr]
+
+
+class MetricsRegistry:
+    """A thread-safe registry of windowed series.
+
+    Args:
+        window: Ring shape shared by every series.
+        log: Optional NDJSON event log; closed windows are emitted as
+            ``kind="metrics"`` records.
+        meta: Extra fields stamped onto every emitted record (e.g.
+            ``{"shard": 3}``).  ``pid`` is always stamped -- the
+            validator needs it to check per-process monotonicity.
+    """
+
+    def __init__(self, window: WindowConfig | None = None,
+                 log: EventLog | None = None,
+                 meta: Mapping | None = None) -> None:
+        self.window = window or WindowConfig()
+        self.log = log
+        self.meta = dict(meta or {})
+        self.dropped_late = 0
+        self._series: dict[str, _Series] = {}
+        self._lock = Lock()
+
+    # -- recording ---------------------------------------------------------
+
+    def _slot(self, name: str, kind: str, ts: float | None):
+        """The slot a sample at ``ts`` belongs to, rotating the ring.
+
+        Returns ``None`` for samples older than the whole ring (counted
+        in ``dropped_late``); a late sample whose window is still
+        resident records into that window.  Caller holds the lock.
+        """
+        now = time.time() if ts is None else ts
+        start = self.window.start_for(now)
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = _Series(name, kind)
+        horizon = series.latest_start - (self.window.slots - 1) * \
+            self.window.interval_s
+        if start < horizon:
+            self.dropped_late += 1
+            return None
+        slot = series.windows.get(start)
+        if slot is None:
+            if start > series.latest_start:
+                self._emit_closed(series)
+                series.latest_start = start
+            if kind == "counter":
+                slot = 0
+            elif kind == "gauge":
+                slot = None  # created by the caller with the first value
+            else:
+                slot = LogHistogram()
+            if kind != "gauge":
+                series.windows[start] = slot
+            self._retire(series)
+        return series, start, slot
+
+    def _retire(self, series: _Series) -> None:
+        """Drop windows that fell off the ring (anything older than
+        ``slots`` intervals behind the newest window, even after a long
+        idle gap)."""
+        horizon = series.latest_start - (self.window.slots - 1) * \
+            self.window.interval_s
+        for start in [s for s in series.windows if s < horizon]:
+            del series.windows[start]
+
+    def _emit_closed(self, series: _Series) -> None:
+        """Emit the (about to be superseded) current window to the
+        event log.  Late samples arriving after emission still count in
+        the registry; they are simply absent from the emitted record."""
+        if self.log is None or series.latest_start == -math.inf:
+            return
+        if series.latest_start not in series.windows:
+            return
+        record = {
+            "series": series.name,
+            "series_type": series.kind,
+            "start_s": series.latest_start,
+            "interval_s": self.window.interval_s,
+            "pid": os.getpid(),
+        }
+        record.update(self.meta)
+        record.update(series.slot_payload(series.latest_start))
+        self.log.write("metrics", record)
+
+    def counter_inc(self, name: str, n: int = 1,
+                    ts: float | None = None) -> None:
+        """Add ``n`` events to a counter's current (or late) window."""
+        with self._lock:
+            located = self._slot(name, "counter", ts)
+            if located is None:
+                return
+            series, start, slot = located
+            series.windows[start] = slot + n
+
+    def gauge_set(self, name: str, value: float,
+                  ts: float | None = None) -> None:
+        """Record one sampled value of a gauge."""
+        value = float(value)
+        with self._lock:
+            located = self._slot(name, "gauge", ts)
+            if located is None:
+                return
+            series, start, slot = located
+            if slot is None:
+                series.windows[start] = {"last": value, "min": value,
+                                         "max": value, "sum": value, "n": 1}
+            else:
+                slot["last"] = value
+                slot["min"] = min(slot["min"], value)
+                slot["max"] = max(slot["max"], value)
+                slot["sum"] += value
+                slot["n"] += 1
+
+    def observe(self, name: str, seconds: float,
+                ts: float | None = None) -> None:
+        """Record one duration into a histogram series."""
+        with self._lock:
+            located = self._slot(name, "histogram", ts)
+            if located is None:
+                return
+            slot = located[2]
+        slot.record(seconds)  # LogHistogram carries its own lock
+
+    # -- views -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Every series' resident windows, JSON-ready and mergeable.
+
+        Histogram windows carry their raw buckets, so cross-process
+        merges of this snapshot are exact per window.
+        """
+        with self._lock:
+            series_view = {
+                name: {
+                    "type": series.kind,
+                    "windows": [
+                        dict(series.slot_payload(start), start_s=start)
+                        for start in sorted(series.windows)
+                    ],
+                }
+                for name, series in sorted(self._series.items())
+            }
+            return {
+                "interval_s": self.window.interval_s,
+                "slots": self.window.slots,
+                "dropped_late": self.dropped_late,
+                "series": series_view,
+            }
+
+
+# -- snapshot-level arithmetic -------------------------------------------------
+#
+# Windowed series cross process boundaries as snapshot dicts; merging
+# must work on the plain-dict form, aligned by window start.
+
+def _merge_counter_windows(parts: list[Mapping]) -> dict[float, dict]:
+    merged: dict[float, dict] = {}
+    for window in parts:
+        start = float(window["start_s"])
+        slot = merged.setdefault(start, {"start_s": start, "value": 0})
+        slot["value"] += int(window.get("value", 0))
+    return merged
+
+def _merge_gauge_windows(parts: list[Mapping]) -> dict[float, dict]:
+    merged: dict[float, dict] = {}
+    for window in parts:
+        start = float(window["start_s"])
+        slot = merged.get(start)
+        if slot is None:
+            merged[start] = {"start_s": start,
+                             "last": float(window.get("last", 0.0)),
+                             "min": float(window.get("min", 0.0)),
+                             "max": float(window.get("max", 0.0)),
+                             "sum": float(window.get("sum", 0.0)),
+                             "n": int(window.get("n", 0))}
+            continue
+        # ``last`` sums across sources: the per-process lasts of one
+        # window add up to the cluster's instantaneous total (total
+        # RSS, total open sessions) -- the view a dashboard wants.
+        slot["last"] += float(window.get("last", 0.0))
+        slot["min"] = min(slot["min"], float(window.get("min", 0.0)))
+        slot["max"] = max(slot["max"], float(window.get("max", 0.0)))
+        slot["sum"] += float(window.get("sum", 0.0))
+        slot["n"] += int(window.get("n", 0))
+    return merged
+
+def _merge_histogram_windows(parts: list[Mapping]) -> dict[float, dict]:
+    by_start: dict[float, list[Mapping]] = {}
+    for window in parts:
+        by_start.setdefault(float(window["start_s"]), []).append(window)
+    return {start: dict(merge_snapshot_dicts(group), start_s=start)
+            for start, group in by_start.items()}
+
+
+_MERGERS = {
+    "counter": _merge_counter_windows,
+    "gauge": _merge_gauge_windows,
+    "histogram": _merge_histogram_windows,
+}
+
+
+def merge_metrics_snapshots(snapshots: Iterable[Mapping | None]) -> dict:
+    """One cluster-wide windowed view from per-process snapshots.
+
+    Windows align by their epoch-aligned ``start_s`` (identical across
+    processes by construction), then merge exactly: counter values and
+    gauge sums add, gauge extremes take extremes, histogram buckets sum
+    -- so merged windowed percentiles equal union percentiles, in any
+    merge order.  Snapshots with a different ``interval_s`` are skipped
+    (their windows would not align) and counted in ``skipped``.
+    """
+    present = [s for s in snapshots if s]
+    if not present:
+        return {"interval_s": 0.0, "slots": 0, "dropped_late": 0,
+                "series": {}}
+    interval = float(present[0].get("interval_s", 0.0))
+    aligned = [s for s in present
+               if float(s.get("interval_s", 0.0)) == interval]
+    parts_by_series: dict[str, tuple[str, list[Mapping]]] = {}
+    dropped_late = 0
+    for snapshot in aligned:
+        dropped_late += int(snapshot.get("dropped_late", 0))
+        for name, series in snapshot.get("series", {}).items():
+            kind = series.get("type", "counter")
+            entry = parts_by_series.setdefault(name, (kind, []))
+            if entry[0] == kind:
+                entry[1].extend(series.get("windows", ()))
+    merged_series = {}
+    for name, (kind, windows) in sorted(parts_by_series.items()):
+        merged = _MERGERS[kind](windows)
+        merged_series[name] = {
+            "type": kind,
+            "windows": [merged[start] for start in sorted(merged)],
+        }
+    result = {
+        "interval_s": interval,
+        "slots": max(int(s.get("slots", 0)) for s in aligned),
+        "dropped_late": dropped_late,
+        "series": merged_series,
+    }
+    if len(aligned) != len(present):
+        result["skipped"] = len(present) - len(aligned)
+    return result
+
+
+# -- rolling-window readers ----------------------------------------------------
+
+def _recent_windows(snapshot: Mapping, name: str, horizon_s: float,
+                    now: float | None = None) -> list[Mapping]:
+    """Windows of ``name`` that started within the last ``horizon_s``."""
+    now = time.time() if now is None else now
+    series = snapshot.get("series", {}).get(name)
+    if not series:
+        return []
+    return [w for w in series.get("windows", ())
+            if float(w.get("start_s", -math.inf)) > now - horizon_s]
+
+def window_sum(snapshot: Mapping, name: str, horizon_s: float,
+               now: float | None = None) -> int:
+    """Total of a counter series over the rolling horizon."""
+    return sum(int(w.get("value", 0))
+               for w in _recent_windows(snapshot, name, horizon_s, now))
+
+def window_rate(snapshot: Mapping, name: str, horizon_s: float,
+                now: float | None = None) -> float:
+    """Events per second of a counter series over the horizon."""
+    total = window_sum(snapshot, name, horizon_s, now)
+    return total / horizon_s if horizon_s > 0 else 0.0
+
+def window_histogram(snapshot: Mapping, name: str, horizon_s: float,
+                     now: float | None = None) -> dict:
+    """The exact union histogram of a series over the horizon."""
+    windows = _recent_windows(snapshot, name, horizon_s, now)
+    if not windows:
+        return snapshot_dict({}, 0, 0.0, math.inf, 0.0)
+    return merge_snapshot_dicts(windows)
+
+def window_gauge_last(snapshot: Mapping, name: str,
+                      default: float = 0.0) -> float:
+    """The most recent sampled value of a gauge series."""
+    series = snapshot.get("series", {}).get(name)
+    if not series or not series.get("windows"):
+        return default
+    return float(series["windows"][-1].get("last", default))
+
+def window_gauge_rate(snapshot: Mapping, name: str) -> float:
+    """Per-second growth of a cumulative gauge (e.g. CPU seconds),
+    derived from the last two windows' ``last`` samples."""
+    series = snapshot.get("series", {}).get(name)
+    windows = series.get("windows", []) if series else []
+    if len(windows) < 2:
+        return 0.0
+    prev, last = windows[-2], windows[-1]
+    dt = float(last["start_s"]) - float(prev["start_s"])
+    if dt <= 0:
+        return 0.0
+    return (float(last.get("last", 0.0)) - float(prev.get("last", 0.0))) / dt

@@ -1,0 +1,93 @@
+"""Per-process resource gauges for the windowed telemetry registry.
+
+A :class:`ResourceSampler` reads cheap process-level facts -- resident
+set size, cumulative CPU time, garbage-collector generation counts and
+collection totals, thread count -- and records them as gauges in a
+:class:`~repro.obs.metrics.MetricsRegistry`.  Sampling is **pull
+driven**: the serving tier samples when a ``stats``/``health`` request
+arrives (the dashboard's 1 Hz poll is the clock), rate-limited by
+``min_interval_s`` so a poll storm cannot turn sampling into load.  No
+background thread: a worker process that serves no stats requests pays
+nothing.
+
+RSS comes from ``/proc/self/statm`` (current resident pages) where
+available; the portable fallback is ``resource.getrusage``'s
+``ru_maxrss`` (the *peak*, still enough to catch a leak's trend).  Both
+are recorded so dashboards can show current vs. peak.
+"""
+
+from __future__ import annotations
+
+import gc
+import resource
+import sys
+import threading
+import time
+
+from repro.obs.metrics import MetricsRegistry
+
+#: ``ru_maxrss`` unit: KiB on Linux, bytes on macOS.
+_MAXRSS_UNIT = 1 if sys.platform == "darwin" else 1024
+
+_PAGE_SIZE = resource.getpagesize()
+
+
+def _current_rss_bytes() -> int | None:
+    """Resident set size right now, or ``None`` off-Linux."""
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            fields = fh.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+class ResourceSampler:
+    """Samples process resource gauges into a metrics registry.
+
+    Args:
+        registry: Destination for the gauge series.
+        min_interval_s: Floor between samples; calls inside the floor
+            are no-ops, so callers can sample opportunistically on
+            every stats request.
+    """
+
+    #: Gauge series this sampler maintains.
+    SERIES = ("rss_bytes", "rss_peak_bytes", "cpu_s", "gc_gen0", "gc_gen1",
+              "gc_gen2", "gc_collections", "threads")
+
+    def __init__(self, registry: MetricsRegistry,
+                 min_interval_s: float = 1.0) -> None:
+        self.registry = registry
+        self.min_interval_s = min_interval_s
+        self.samples = 0
+        self._last_sample = -float("inf")
+        self._lock = threading.Lock()
+
+    def sample(self, now: float | None = None) -> bool:
+        """Record one sample of every gauge (rate-limited); returns
+        whether a sample was actually taken."""
+        now = time.time() if now is None else now
+        with self._lock:
+            if now - self._last_sample < self.min_interval_s:
+                return False
+            self._last_sample = now
+            self.samples += 1
+        registry = self.registry
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        rss = _current_rss_bytes()
+        peak = usage.ru_maxrss * _MAXRSS_UNIT
+        registry.gauge_set("rss_bytes", rss if rss is not None else peak,
+                           ts=now)
+        registry.gauge_set("rss_peak_bytes", peak, ts=now)
+        registry.gauge_set("cpu_s", usage.ru_utime + usage.ru_stime, ts=now)
+        gen_counts = gc.get_count()
+        for gen in range(3):
+            registry.gauge_set(f"gc_gen{gen}", gen_counts[gen], ts=now)
+        registry.gauge_set(
+            "gc_collections",
+            sum(stats.get("collections", 0) for stats in gc.get_stats()),
+            ts=now,
+        )
+        registry.gauge_set("threads", threading.active_count(), ts=now)
+        return True

@@ -533,6 +533,8 @@ class Tracer:
         counters: dict[str, int] = {}
         stage_parts: dict[str, list[dict]] = {}
         city_parts: dict[str, list[dict]] = {}
+        log_totals = {"written": 0, "dropped": 0}
+        logs = 0
         for snapshot in present:
             for name, value in snapshot.get("counters", {}).items():
                 counters[name] = counters.get(name, 0) + int(value)
@@ -540,7 +542,12 @@ class Tracer:
                                  ("cities", city_parts)):
                 for name, hist in snapshot.get(table, {}).items():
                     parts.setdefault(name, []).append(hist)
-        return {
+            log_stats = snapshot.get("log")
+            if isinstance(log_stats, dict):
+                logs += 1
+                for key in log_totals:
+                    log_totals[key] += int(log_stats.get(key, 0))
+        merged = {
             "enabled": any(s.get("enabled") for s in present),
             "counters": counters,
             "stages": {name: merge_snapshot_dicts(parts)
@@ -548,6 +555,9 @@ class Tracer:
             "cities": {name: merge_snapshot_dicts(parts)
                        for name, parts in sorted(city_parts.items())},
         }
+        if logs:
+            merged["log"] = log_totals
+        return merged
 
     @staticmethod
     def merge_traces(trace_lists: list[list[dict]],

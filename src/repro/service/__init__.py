@@ -21,7 +21,11 @@ asyncio NDJSON front-end with admission control and graceful drain
 (:mod:`repro.service.loadgen`).  The whole stack is traced end to end
 by :mod:`repro.obs`: per-stage latency histograms that merge exactly
 across shards, per-request span trees, and an optional NDJSON event
-log (``serve --obs-log``).
+log (``serve --obs-log``).  Windowed telemetry
+(:mod:`repro.obs.metrics`) rides the same stack: every process keeps
+counters/gauges/latency windows, the ``health`` wire op evaluates SLO
+burn rates over them (``ok|degraded|breached`` with reasons), and
+``python -m repro.obs.top`` renders the live cluster view.
 
 ``python -m repro.service`` runs a JSON-lines demo over two cities;
 ``python -m repro.service serve`` / ``loadgen`` run the network tier --

@@ -26,6 +26,11 @@ so the output shows both cold builds and warm-cache hits end to end::
     python -m repro.service serve --shards 2 --obs-log events.ndjson
     python -m repro.service loadgen --port 8642 --trace --expect-traced \
         --dump-slowest 5
+    python -m repro.service serve --slo-p99-ms 250 --slo-shed-rate 0.05
+    python -m repro.service loadgen --port 8642 --slo-p99-ms 500 \
+        --slo-error-rate 0.01
+    python -m repro.obs.top --port 8642            # live dashboard
+    python -m repro.obs.top --port 8642 --once --expect ok   # CI gate
 
 Demo traffic uses ``group_spec`` requests -- pure JSON a client can
 write without knowing the LDA topic labels the server's item index

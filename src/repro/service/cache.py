@@ -77,12 +77,17 @@ class PackageCache:
     Args:
         capacity: Maximum number of cached entries; the least recently
             used entry is evicted beyond it.
+        windows: Optional windowed telemetry registry; lookups then
+            also count into ``cache_hits``/``cache_misses`` windows so
+            the SLO monitor can watch a *rolling* hit rate (the
+            cumulative counters here never forget a cold start).
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256, windows=None) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
         self.capacity = capacity
+        self.windows = windows
         self._entries: OrderedDict[tuple, object] = OrderedDict()
         self._lock = Lock()
         self.hits = 0
@@ -96,10 +101,13 @@ class PackageCache:
             value = self._entries.get(key)
             if value is None:
                 self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return value
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if self.windows is not None:
+            self.windows.counter_inc(
+                "cache_hits" if value is not None else "cache_misses")
+        return value
 
     def put(self, key: tuple, value) -> None:
         """Insert (or refresh) a value, evicting the LRU entry when

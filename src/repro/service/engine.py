@@ -38,8 +38,12 @@ from repro.core.refine import refine_batch
 from repro.data.poi import POI, Category
 from repro.obs import (
     ObsConfig,
+    ResourceSampler,
+    SLOConfig,
+    SLOMonitor,
     TraceContext,
     Tracer,
+    WindowConfig,
     current_activation,
     stage,
     use_activation,
@@ -105,23 +109,37 @@ class PackageService:
             call runs under a trace activation, so per-stage latency
             histograms and slowest-trace rings populate without any
             client opt-in.
+        window: Ring shape for windowed telemetry (counters, gauges and
+            per-op latency histograms in fixed-interval windows); the
+            :class:`~repro.obs.WindowConfig` defaults apply when
+            omitted.
+        slo: Targets for the ``health`` wire op; the
+            :class:`~repro.obs.SLOConfig` defaults apply when omitted.
     """
 
     def __init__(self, registry: CityRegistry | None = None,
                  cache_capacity: int = 256,
                  max_workers: int = _DEFAULT_BATCH_WORKERS,
                  max_sessions: int = 1024,
-                 obs: ObsConfig | Tracer | None = None) -> None:
+                 obs: ObsConfig | Tracer | None = None,
+                 window: WindowConfig | None = None,
+                 slo: SLOConfig | None = None) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         if max_sessions < 1:
             raise ValueError("max_sessions must be at least 1")
         self.max_sessions = max_sessions
         self.registry = registry or CityRegistry()
-        self.cache = PackageCache(cache_capacity)
-        self.metrics = ServiceMetrics()
         self.tracer = (obs if isinstance(obs, Tracer)
                        else (obs or ObsConfig()).make_tracer())
+        meta = ({"shard": self.tracer.shard}
+                if self.tracer.shard is not None else None)
+        self.metrics = ServiceMetrics(window=window, log=self.tracer.log,
+                                      meta=meta)
+        self.cache = PackageCache(cache_capacity,
+                                  windows=self.metrics.windows)
+        self.sampler = ResourceSampler(self.metrics.windows)
+        self.slo = SLOMonitor(slo)
         self.max_workers = max_workers
         self._batch_pool: ThreadPoolExecutor | None = None
         self._batch_pool_lock = Lock()
@@ -449,7 +467,7 @@ class PackageService:
 
     #: Operations :meth:`dispatch` understands, mapped to handlers by name.
     DISPATCH_OPS = ("ping", "build", "batch", "open_session", "customize",
-                    "close_session", "warmup", "stats", "trace")
+                    "close_session", "warmup", "stats", "trace", "health")
 
     def dispatch(self, op: str, payload: dict) -> dict:
         """Serve one wire-format operation: plain dicts in, plain dicts
@@ -554,6 +572,8 @@ class PackageService:
                 return result
             if op == "stats":
                 return self.stats()
+            if op == "health":
+                return self.health()
             if op == "trace":
                 limit = payload.get("limit")
                 return {"traces": self.tracer.slowest_traces(
@@ -572,8 +592,23 @@ class PackageService:
 
     # -- observability -------------------------------------------------------
 
+    def _sample_gauges(self) -> None:
+        """Refresh the service-level gauges (pull-driven: a stats or
+        health poll is the sampling clock -- no background thread)."""
+        windows = self.metrics.windows
+        windows.gauge_set("sessions_open", self.open_sessions)
+        windows.gauge_set("cache_size", len(self.cache))
+        pool = self._batch_pool
+        queue = getattr(pool, "_work_queue", None) if pool else None
+        if queue is not None:
+            windows.gauge_set("batch_queue_depth", queue.qsize())
+        windows.gauge_set("store_resident_bytes",
+                          self.registry.total_bytes())
+        self.sampler.sample()
+
     def stats(self) -> dict:
         """One JSON-ready snapshot of the service's counters."""
+        self._sample_gauges()
         return {
             "cities": list(self.registry.loaded()),
             "open_sessions": self.open_sessions,
@@ -582,3 +617,12 @@ class PackageService:
             "metrics": self.metrics.snapshot(),
             "obs": self.tracer.snapshot(),
         }
+
+    def health(self) -> dict:
+        """The SLO verdict over this service's rolling windows, plus
+        the windowed snapshot it was computed from (the shard layer
+        merges the snapshots exactly and re-evaluates cluster-wide)."""
+        self._sample_gauges()
+        snapshot = self.metrics.windows.snapshot()
+        return {"health": self.slo.evaluate(snapshot),
+                "windows": snapshot}

@@ -29,7 +29,11 @@ The observability hooks (:mod:`repro.obs`): ``--trace`` tags every
 envelope with a deterministic client-side trace id, ``--expect-traced``
 asserts post-run that the merged stats carry finite per-stage latency
 percentiles, and ``--dump-slowest N`` fetches and prints the cluster's
-N slowest requests as span trees.
+N slowest requests as span trees.  ``--slo-p99-ms`` / ``--slo-error-rate``
+fetch the server's ``health`` op after the run and print a one-line SLO
+verdict computed from the *windowed* telemetry of the run (exact merged
+percentiles, not ad-hoc client timing), exiting non-zero on violation
+-- the gate bench scripts and CI read.
 
 ``build_workload(config)`` is pure and deterministic: same config,
 same action list, same JSON payloads -- byte for byte.  Runners exist
@@ -561,6 +565,41 @@ def _format_trace(trace: dict) -> str:
     return "\n".join(lines)
 
 
+def _slo_verdict(health: dict, p99_ms: float | None,
+                 error_rate: float | None, wall_s: float) -> tuple[str, str]:
+    """``(state, one-line verdict)`` for a finished run, computed from
+    the server's windowed telemetry.
+
+    The cluster's merged windows and the front-end's own (end-to-end
+    ``latency:request``, sheds) are merged once more -- both sides are
+    epoch-aligned, so the union stays exact -- and evaluated over a
+    horizon covering the whole run plus one default window of slack.
+    """
+    from repro.obs import SLOConfig, SLOMonitor, merge_metrics_snapshots
+
+    merged = merge_metrics_snapshots([
+        health.get("windows"),
+        health.get("frontend", {}).get("windows"),
+    ])
+    horizon = max(30.0, wall_s + 2.0 * merged.get("interval_s", 10.0))
+    config = SLOConfig(p99_ms=p99_ms, error_rate=error_rate,
+                       shed_rate=None, horizon_s=horizon)
+    verdict = SLOMonitor(config).evaluate(merged)
+    targets = []
+    if p99_ms is not None:
+        targets.append(f"p99<={p99_ms:g}ms")
+    if error_rate is not None:
+        targets.append(f"errors<={error_rate:.2%}")
+    line = (f"SLO verdict: {verdict['state']} "
+            f"({', '.join(targets)} over {horizon:.0f}s; "
+            f"{verdict['requests']} windowed requests)")
+    for reason in verdict["reasons"]:
+        op = f" op={reason['op']}" if "op" in reason else ""
+        line += (f"; {reason['severity']}: {reason['slo']}{op} "
+                 f"{reason['value']:.4g} > {reason['target']:.4g}")
+    return verdict["state"], line
+
+
 def _check_hydrated(stats: dict) -> list[str]:
     """Problems with the claim "this run was served without a single
     LDA fit" -- empty when the claim holds.  Reads the cluster's merged
@@ -638,6 +677,15 @@ def loadgen_main(argv: list[str] | None = None) -> int:
                              "unless per-stage latency percentiles "
                              "(queue wait, cache lookup, dispatch) are "
                              "present and finite")
+    parser.add_argument("--slo-p99-ms", type=float, default=None,
+                        metavar="MS",
+                        help="after the run, fetch the server's 'health' "
+                             "windows and fail unless every op's windowed "
+                             "p99 is within this target")
+    parser.add_argument("--slo-error-rate", type=float, default=None,
+                        metavar="RATE",
+                        help="windowed error-rate ceiling for the post-run "
+                             "SLO verdict (e.g. 0.01)")
     args = parser.parse_args(argv)
 
     cities = tuple(c.strip().lower() for c in args.cities.split(",")
@@ -737,6 +785,19 @@ def loadgen_main(argv: list[str] | None = None) -> int:
                   f"p99={queue['p99_ms']:.3f}ms over {queue['count']} "
                   f"request(s); stages: {', '.join(sorted(stages))}",
                   file=sys.stderr)
+    if args.slo_p99_ms is not None or args.slo_error_rate is not None:
+        try:
+            health = asyncio.run(_fetch_op(args.host, args.port,
+                                           args.connect_timeout, "health"))
+        except (OSError, ConnectionError, json.JSONDecodeError) as exc:
+            print(f"SLO verdict: could not fetch health: {exc}",
+                  file=sys.stderr)
+            return 1
+        state, line = _slo_verdict(health, args.slo_p99_ms,
+                                   args.slo_error_rate, report.wall_s)
+        print(line, file=sys.stderr)
+        if state != "ok":
+            status = 1
     if args.dump_slowest:
         try:
             dump = asyncio.run(_fetch_op(

@@ -13,6 +13,13 @@ accurate as single-process ones.
 
 Everything is thread-safe: the batch path records from worker threads.
 
+Alongside the cumulative histograms, every recording also lands in a
+windowed :class:`~repro.obs.metrics.MetricsRegistry` (``windows``
+attribute): per-op ``latency:<op>`` histogram series plus ``requests``
+and ``errors`` counters.  The cumulative view answers "since boot",
+the windowed view answers "the last 30 seconds" -- SLO burn rates and
+the live dashboard read the latter.
+
 :func:`merge_snapshots` combines snapshots taken in different
 *processes* -- the shard layer keeps one ``ServiceMetrics`` per worker
 and merges their pictures front-side, so cluster-wide stats never
@@ -22,20 +29,38 @@ require sharing mutable state across the process boundary.
 from __future__ import annotations
 
 import time
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from contextlib import contextmanager
 from threading import Lock
 
+from repro.obs.events import EventLog
 from repro.obs.histogram import LogHistogram, merge_snapshot_dicts
+from repro.obs.metrics import (
+    MetricsRegistry,
+    WindowConfig,
+    merge_metrics_snapshots,
+)
 
 
 class ServiceMetrics:
-    """Per-operation latency histograms with exact counts."""
+    """Per-operation latency histograms with exact counts.
 
-    def __init__(self) -> None:
+    Args:
+        window: Ring shape for the windowed registry (defaults apply
+            when omitted).
+        log: Optional NDJSON event log the windowed registry emits
+            closed windows to.
+        meta: Extra fields stamped onto emitted window records (e.g.
+            ``{"shard": 3}``).
+    """
+
+    def __init__(self, window: WindowConfig | None = None,
+                 log: EventLog | None = None,
+                 meta: Mapping | None = None) -> None:
         self._ops: dict[str, LogHistogram] = {}
         self._lock = Lock()
         self._started = time.perf_counter()
+        self.windows = MetricsRegistry(window=window, log=log, meta=meta)
 
     def record(self, op: str, seconds: float) -> None:
         """Count one completed operation of ``seconds`` wall clock."""
@@ -44,6 +69,10 @@ class ServiceMetrics:
             if hist is None:
                 hist = self._ops[op] = LogHistogram()
         hist.record(seconds)
+        self.windows.observe(f"latency:{op}", seconds)
+        self.windows.counter_inc("requests")
+        if op == "error":
+            self.windows.counter_inc("errors")
 
     @contextmanager
     def timed(self, op: str):
@@ -70,6 +99,7 @@ class ServiceMetrics:
             "total_operations": total,
             "throughput_per_s": total / elapsed if elapsed > 0 else 0.0,
             "operations": ops,
+            "windows": self.windows.snapshot(),
         }
 
 
@@ -128,9 +158,13 @@ def merge_snapshots(snapshots: Sequence[dict]) -> dict:
 
     uptime = max((s.get("uptime_s", 0.0) for s in snapshots), default=0.0)
     total = sum(stats["count"] for stats in merged_ops.values())
-    return {
+    merged = {
         "uptime_s": uptime,
         "total_operations": total,
         "throughput_per_s": total / uptime if uptime > 0 else 0.0,
         "operations": merged_ops,
     }
+    window_parts = [s.get("windows") for s in snapshots if s.get("windows")]
+    if window_parts:
+        merged["windows"] = merge_metrics_snapshots(window_parts)
+    return merged

@@ -316,6 +316,13 @@ class CityRegistry:
         with self._lock:
             return tuple(sorted(self._entries))
 
+    def total_bytes(self) -> int:
+        """Estimated resident bytes across all loaded cities (cheap:
+        reads the per-entry estimates, no array walks -- the resource
+        sampler calls this on every stats/health poll)."""
+        with self._lock:
+            return sum(self._entry_bytes.values())
+
     def available(self) -> tuple[str, ...]:
         """Every city this registry can serve without registration."""
         return tuple(sorted(set(city_names()) | set(self._entries)))

@@ -48,7 +48,19 @@ import sys
 import time
 
 from repro.core.objective import ObjectiveWeights
-from repro.obs import ObsConfig, TraceContext, Tracer, current_activation, stage
+from repro.obs import (
+    MetricsRegistry,
+    ObsConfig,
+    ResourceSampler,
+    SLOConfig,
+    SLOMonitor,
+    TraceContext,
+    Tracer,
+    WindowConfig,
+    current_activation,
+    merge_verdicts,
+    stage,
+)
 from repro.service.engine import PackageService
 from repro.service.registry import populate_store
 from repro.service.schema import ErrorCode, PackageResponse
@@ -90,16 +102,28 @@ class PackageServer:
             mints trace ids and times the front-end stages.  Shard
             workers trace separately via :attr:`ShardConfig.obs
             <repro.service.shard.ShardConfig.obs>`.
+        window: Ring shape for the front-end's own windowed telemetry
+            (request rate, shed rate, end-to-end request latency,
+            process gauges).  Should match the shards' so the ``health``
+            op can reason over one interval.
+        slo: Front-end SLO targets; the ``health`` op folds this
+            verdict (shed rate, end-to-end latency) into the cluster's.
     """
 
     def __init__(self, cluster: ShardCluster, max_inflight: int = 64,
-                 obs: ObsConfig | Tracer | None = None) -> None:
+                 obs: ObsConfig | Tracer | None = None,
+                 window: WindowConfig | None = None,
+                 slo: SLOConfig | None = None) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
         self.cluster = cluster
         self.max_inflight = max_inflight
         self.tracer = (obs if isinstance(obs, Tracer)
                        else (obs or ObsConfig()).make_tracer())
+        self.windows = MetricsRegistry(window=window, log=self.tracer.log,
+                                       meta={"role": "frontend"})
+        self.sampler = ResourceSampler(self.windows)
+        self.slo = SLOMonitor(slo)
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._draining = False
@@ -147,6 +171,7 @@ class PackageServer:
 
         if self._draining or self._inflight >= self.max_inflight:
             self.stats_counters["shed"] += 1
+            self.windows.counter_inc("shed")
             reason = ("server is draining" if self._draining else
                       f"server overloaded: {self._inflight} requests in "
                       f"flight (limit {self.max_inflight})")
@@ -158,6 +183,8 @@ class PackageServer:
         self.stats_counters["peak_inflight"] = max(
             self.stats_counters["peak_inflight"], self._inflight
         )
+        self.windows.counter_inc("requests")
+        started = time.perf_counter()
         ctx = self._trace_context(envelope)
         trace_limit = payload.get("limit") if op == "trace" else None
         if op == "trace":
@@ -191,6 +218,8 @@ class PackageServer:
                               code=ErrorCode.FAILED.value)
         finally:
             self._inflight -= 1
+            self.windows.observe("latency:request",
+                                 time.perf_counter() - started)
         if op == "trace":
             # The cluster merged the workers' rings; fold in the
             # front-end's own portions of those traces.
@@ -200,6 +229,8 @@ class PackageServer:
             ))
         if op == "stats":
             response = dict(response, server=self.stats())
+        if op == "health":
+            response = self._fold_health(response)
         if ctx is not None:
             response = dict(response, trace_id=ctx.trace_id)
         if envelope_id is not None:
@@ -336,15 +367,38 @@ class PackageServer:
     def inflight(self) -> int:
         return self._inflight
 
+    def _sample_gauges(self) -> None:
+        """Refresh the front-end's gauges (pull-driven, like the
+        engine's: a stats/health poll is the clock)."""
+        self.windows.gauge_set("inflight", self._inflight)
+        self.windows.gauge_set("connections_open", len(self._writers))
+        self.sampler.sample()
+
+    def _fold_health(self, response: dict) -> dict:
+        """Fold the front-end's own SLO verdict (shed rate, end-to-end
+        request latency, its process gauges) into the cluster's
+        ``health`` answer: overall state is the worst of both."""
+        self._sample_gauges()
+        snapshot = self.windows.snapshot()
+        frontend = self.slo.evaluate(snapshot)
+        overall = merge_verdicts(response.get("health", {"state": "ok"}),
+                                 ("frontend", frontend))
+        return dict(response, health=overall,
+                    frontend={"state": frontend["state"],
+                              "windows": snapshot})
+
     def stats(self) -> dict:
         """Front-end counters (the cluster's live in its own stats),
-        including the front-end tracer's stage histograms."""
+        including the front-end tracer's stage histograms and windowed
+        telemetry."""
+        self._sample_gauges()
         return dict(self.stats_counters,
                     inflight=self._inflight,
                     max_inflight=self.max_inflight,
                     connections_open=len(self._writers),
                     draining=self._draining,
-                    obs=self.tracer.snapshot())
+                    obs=self.tracer.snapshot(),
+                    windows=self.windows.snapshot())
 
 
 async def serve_stdin(server: PackageServer, stdin=None, stdout=None) -> int:
@@ -376,6 +430,21 @@ def _obs_config(args: argparse.Namespace) -> ObsConfig:
     )
 
 
+def _window_config(args: argparse.Namespace) -> WindowConfig:
+    return WindowConfig(interval_s=args.window_interval,
+                        slots=args.window_slots)
+
+
+def _slo_config(args: argparse.Namespace) -> SLOConfig:
+    return SLOConfig(
+        p99_ms=args.slo_p99_ms,
+        error_rate=args.slo_error_rate,
+        shed_rate=args.slo_shed_rate,
+        cache_hit_floor=args.slo_cache_hit_floor,
+        horizon_s=args.slo_horizon,
+    )
+
+
 def _build_cluster(args: argparse.Namespace) -> ShardCluster:
     config = ShardConfig(
         seed=args.seed, scale=args.scale,
@@ -385,6 +454,8 @@ def _build_cluster(args: argparse.Namespace) -> ShardCluster:
         store_path=args.store,
         max_cities=args.max_cities,
         obs=_obs_config(args),
+        window=_window_config(args),
+        slo=_slo_config(args),
     )
     cities = [c.strip().lower() for c in args.cities.split(",") if c.strip()]
     return ShardCluster(shards=args.shards, config=config, cities=cities,
@@ -394,7 +465,9 @@ def _build_cluster(args: argparse.Namespace) -> ShardCluster:
 async def _serve_async(args: argparse.Namespace) -> int:
     cluster = _build_cluster(args)
     server = PackageServer(cluster, max_inflight=args.max_inflight,
-                           obs=_obs_config(args))
+                           obs=_obs_config(args),
+                           window=_window_config(args),
+                           slo=_slo_config(args))
     try:
         if args.store and not args.no_warm and cluster.placement:
             # Pre-populate the persistent store *in the front-end* so
@@ -508,6 +581,34 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
                              "(the 'trace' op returns the merged rings)")
     parser.add_argument("--no-obs", action="store_true",
                         help="disable tracing entirely")
+    parser.add_argument("--window-interval", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="windowed-telemetry slot width (default: 10s; "
+                             "identical in every process so per-shard "
+                             "windows merge exactly)")
+    parser.add_argument("--window-slots", type=int, default=60,
+                        help="windows retained per series (default: 60 -> "
+                             "ten minutes of history at 10s slots)")
+    parser.add_argument("--slo-p99-ms", type=float, default=None,
+                        metavar="MS",
+                        help="rolling-window p99 latency target per op; "
+                             "unset = no latency SLO")
+    parser.add_argument("--slo-error-rate", type=float, default=0.05,
+                        metavar="RATE",
+                        help="error-rate ceiling over the SLO horizon "
+                             "(default: 0.05)")
+    parser.add_argument("--slo-shed-rate", type=float, default=0.10,
+                        metavar="RATE",
+                        help="overload-shed ceiling over the SLO horizon "
+                             "(default: 0.10)")
+    parser.add_argument("--slo-cache-hit-floor", type=float, default=None,
+                        metavar="RATE",
+                        help="windowed cache hit-rate floor; unset = no "
+                             "cache SLO")
+    parser.add_argument("--slo-horizon", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="rolling horizon the 'health' op evaluates "
+                             "over (default: 30s)")
 
 
 def serve_main(argv: list[str] | None = None) -> int:

@@ -26,8 +26,10 @@ Routing rules:
   worker holds the session state).
 * ``batch`` requests are split per shard, served concurrently, and
   reassembled in request order.
-* ``stats`` and ``trace`` fan out to every shard and merge (latency
-  histograms bucket-exactly, slowest-trace rings by trace id).
+* ``stats``, ``health`` and ``trace`` fan out to every shard and merge
+  (latency histograms and telemetry windows bucket-exactly,
+  slowest-trace rings by trace id; the cluster SLO verdict re-evaluates
+  over the merged windows and folds in per-shard states).
 
 Each shard's pool has exactly one worker, so a shard serves its cities
 serially (its internal cache and FCM seed caches see every request) and
@@ -52,7 +54,15 @@ from threading import Lock
 from typing import Callable
 
 from repro.core.objective import ObjectiveWeights
-from repro.obs import ObsConfig, Tracer
+from repro.obs import (
+    ObsConfig,
+    SLOConfig,
+    SLOMonitor,
+    Tracer,
+    WindowConfig,
+    merge_metrics_snapshots,
+    merge_verdicts,
+)
 from repro.service.engine import MAX_BATCH_REQUESTS, PackageService
 from repro.service.metrics import merge_snapshots
 from repro.service.registry import CityRegistry
@@ -90,6 +100,13 @@ class ShardConfig:
     #: (:class:`~repro.obs.ObsConfig` is a frozen dataclass of plain
     #: values, so the config stays picklable).
     obs: ObsConfig | None = None
+    #: Windowed-telemetry ring shape shared by every worker; identical
+    #: intervals are what make per-shard windows merge front-side.
+    window: WindowConfig | None = None
+    #: SLO targets each worker's (and the cluster's) ``health`` op
+    #: evaluates; both dataclasses are frozen plain values, so the
+    #: config stays picklable.
+    slo: SLOConfig | None = None
 
     def make_service(self) -> PackageService:
         """A fresh serving stack per this configuration (runs in the
@@ -103,7 +120,8 @@ class ShardConfig:
         return PackageService(registry, cache_capacity=self.cache_capacity,
                               max_workers=self.batch_workers,
                               max_sessions=self.max_sessions,
-                              obs=self.obs)
+                              obs=self.obs, window=self.window,
+                              slo=self.slo)
 
 
 # -- worker-process globals ---------------------------------------------------
@@ -427,6 +445,9 @@ class ShardCluster:
         if op == "stats":
             return _gather([s.submit("stats", {}) for s in self._shards],
                            self._combine_stats)
+        if op == "health":
+            return _gather([s.submit("health", {}) for s in self._shards],
+                           self._combine_health)
         if op == "trace":
             # Workers return their *full* rings and the limit applies
             # only after the union: a worker-side trim could cut the
@@ -579,9 +600,39 @@ class ShardCluster:
             "obs": Tracer.merge_obs([r.get("obs") for r in results]),
         }
 
+    def _combine_health(self, results: list[dict]) -> dict:
+        """One cluster verdict from per-shard ``health`` answers.
+
+        The per-shard windowed snapshots merge exactly (epoch-aligned
+        starts), and the cluster SLO is re-evaluated over the *merged*
+        windows -- so the cluster p99 is the union p99, not the worst
+        shard's.  Per-shard verdicts still fold in: one shard drowning
+        while its siblings idle can vanish from aggregate rates, but
+        its own ``degraded`` state must not.
+        """
+        merged_windows = merge_metrics_snapshots(
+            [r.get("windows") for r in results])
+        cluster = SLOMonitor(self.config.slo).evaluate(merged_windows)
+        verdict = merge_verdicts(
+            cluster,
+            *((f"shard:{r.get('shard', i)}", r.get("health", {}))
+              for i, r in enumerate(results)),
+        )
+        return {
+            "health": verdict,
+            "windows": merged_windows,
+            "shards": [{"shard": r.get("shard", i),
+                        "state": r.get("health", {}).get("state", "ok")}
+                       for i, r in enumerate(results)],
+        }
+
     def stats(self) -> dict:
         """Merged cluster counters plus the per-shard breakdown."""
         return self.dispatch("stats", {})
+
+    def health(self) -> dict:
+        """Blocking convenience over the ``health`` wire op."""
+        return self.dispatch("health", {})
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work and (with ``wait``) drain queued

@@ -245,6 +245,26 @@ class TestTracer:
         assert merged["cities"]["paris"]["count"] == 2
         assert merged["counters"]["traces"] == 2
 
+    def test_merge_obs_surfaces_log_written_and_dropped(self, tmp_path):
+        # Satellite of the windowed-telemetry work: best-effort event
+        # logs drop silently per process; the merged stats view must
+        # total written/dropped so the loss is visible cluster-wide.
+        healthy = ObsConfig(log_path=str(tmp_path / "a.ndjson"))
+        broken = ObsConfig(log_path=str(tmp_path / "b.ndjson"))
+        a, b = healthy.make_tracer(), broken.make_tracer()
+        with a.activate("serve:build"):
+            pass
+        b.log.close()  # every subsequent write drops
+        with b.activate("serve:build"):
+            pass
+        merged = Tracer.merge_obs([a.snapshot(), b.snapshot()])
+        assert merged["log"]["written"] >= 1
+        assert merged["log"]["dropped"] >= 1
+        a.close()
+        # Logless snapshots merge without inventing a log section.
+        plain = Tracer()
+        assert "log" not in Tracer.merge_obs([plain.snapshot()])
+
     def test_hist_key_table_is_bounded(self):
         tracer = Tracer()
         for i in range(500):
@@ -359,6 +379,26 @@ class TestCheckLogLines:
     def test_empty_log_is_clean(self):
         summary, problems = check_log_lines([])
         assert problems == [] and summary["records"] == 0
+
+    def test_main_json_output_is_machine_readable(self, tmp_path, capsys):
+        from repro.obs.check import main
+
+        log = tmp_path / "events.ndjson"
+        log.write_text(json.dumps({
+            "kind": "span", "trace_id": "t", "span_id": "a",
+            "name": "root", "duration_ms": 1.0, "parent_id": None,
+        }) + "\n")
+        assert main([str(log), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["summary"]["traces"] == 1
+        assert report["problems"] == []
+
+        # --min-traces failures surface in the JSON, not just the exit.
+        assert main([str(log), "--json", "--min-traces", "5"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert any("expected at least 5" in p for p in report["problems"])
 
 
 class TestObsConfig:

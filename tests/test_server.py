@@ -720,3 +720,123 @@ class TestLoadgen:
         assert report.errors == 0 and report.shed == 0
         assert report.by_kind["cold"] + report.by_kind["warm"] >= 1
         assert report.throughput > 0
+
+
+# -- windowed health -----------------------------------------------------------
+
+class TestHealthOp:
+    def test_cluster_health_merges_windows_and_verdicts(self, cluster):
+        cluster.dispatch("build", spec_payload("paris", seed=81))
+        result = cluster.dispatch("health", {})
+        assert result["health"]["state"] in ("ok", "degraded", "breached")
+        assert {s["shard"] for s in result["shards"]} == {0, 1}
+        # The merged snapshot carries the serving counters and the
+        # resource gauges every worker samples on a health poll.
+        series = result["windows"]["series"]
+        assert "requests" in series and "latency:build" in series
+        assert "rss_bytes" in series and "cpu_s" in series
+
+    def test_stats_carry_windows(self, cluster):
+        cluster.dispatch("build", spec_payload("paris", seed=82))
+        stats = cluster.stats()
+        series = stats["metrics"]["windows"]["series"]
+        assert "requests" in series
+        assert series["latency:build"]["type"] == "histogram"
+
+    def test_top_once_polls_a_live_server(self, cluster):
+        """The dashboard CLI end to end: ``repro.obs.top --once --json
+        --expect ok`` as a real subprocess against a live front-end
+        must exit 0 and print the raw stats/health snapshot."""
+        import subprocess
+        import sys
+
+        cluster.dispatch("build", spec_payload("paris", seed=83))
+
+        async def scenario():
+            server = PackageServer(cluster)
+            host, port = await server.start(port=0)
+            try:
+                proc = await asyncio.create_subprocess_exec(
+                    sys.executable, "-m", "repro.obs.top",
+                    "--host", host, "--port", str(port),
+                    "--once", "--json", "--expect", "ok",
+                    "--timeout", "30",
+                    stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+                out, err = await asyncio.wait_for(proc.communicate(), 60)
+                assert proc.returncode == 0, err.decode()
+                return json.loads(out.decode())
+            finally:
+                await server.drain(timeout=2)
+
+        snapshot = asyncio.run(scenario())
+        assert snapshot["health"]["health"]["state"] == "ok"
+        assert "requests" in snapshot["health"]["windows"]["series"]
+        assert "requests" in snapshot["stats"]["metrics"]["windows"]["series"]
+
+    def test_overload_flips_health_degraded_then_recovers(self, app):
+        """The acceptance scenario: a burst into a ``max_inflight=1``
+        front-end sheds almost everything, the ``health`` op reports
+        ``degraded``/``breached`` with an overload-shed reason sourced
+        at the front-end, and once the offending windows rotate out of
+        the (test-sized) horizon the verdict returns to ``ok``."""
+        from repro.obs import SLOConfig, WindowConfig
+
+        # A short horizon so recovery happens in test time, but long
+        # enough that reading the burst's responses cannot outlast it.
+        interval = 0.25
+        horizon = 2.0
+        window = WindowConfig(interval_s=interval, slots=20)
+        slo = SLOConfig(shed_rate=0.10, horizon_s=horizon)
+
+        registry = CityRegistry(seed=7, scale=0.4, lda_iterations=30)
+        registry.register(app.dataset, app.item_index, name="paris")
+        cluster = ShardCluster(
+            shards=1,
+            config=ShardConfig(scale=0.4, window=window, slo=slo),
+            cities=["paris"], use_processes=False,
+            service_factory=lambda shard_id: PackageService(
+                registry, cache_capacity=32, window=window, slo=slo),
+        )
+
+        async def scenario():
+            server = PackageServer(cluster, max_inflight=1,
+                                   window=window, slo=slo)
+            host, port = await server.start(port=0)
+            reader, writer = await _client(host, port)
+            try:
+                # Pipelined burst: one request is admitted, the rest
+                # shed immediately -- an induced overload.
+                for i in range(12):
+                    await _send_line(writer, {
+                        "op": "build", "id": i,
+                        "request": spec_payload("paris", seed=90 + i)})
+                responses = [await _read_line(reader, timeout=60)
+                             for _ in range(12)]
+                shed = [r for r in responses
+                        if r.get("code") == ErrorCode.OVERLOADED.value]
+                assert len(shed) >= 8
+
+                await _send_line(writer, {"op": "health"})
+                overloaded = await _read_line(reader, timeout=30)
+                verdict = overloaded["health"]
+                assert verdict["state"] in ("degraded", "breached")
+                reasons = [r for r in verdict["reasons"]
+                           if r["slo"] == "shed_rate"]
+                assert reasons and reasons[0]["source"] == "frontend"
+                assert overloaded["frontend"]["state"] == verdict["state"]
+
+                # Recovery: past the horizon the shed windows no longer
+                # count, and an idle-or-quiet service is ok again.
+                await asyncio.sleep(horizon + 2 * interval)
+                await _send_line(writer, {"op": "health"})
+                recovered = await _read_line(reader, timeout=30)
+                assert recovered["health"]["state"] == "ok"
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                await server.drain(timeout=2)
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            cluster.shutdown()
