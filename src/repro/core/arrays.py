@@ -276,9 +276,18 @@ class CityArrays:
         """Inverse of :meth:`export_arrays` / :meth:`export_meta`.
 
         ``payload`` is any mapping of the exported keys to arrays (a
-        live ``np.load`` handle works).  Raises ``KeyError`` /
-        ``ValueError`` on missing or malformed entries, which asset
-        stores treat as corruption.
+        live ``np.load`` handle works, as does a dict of memory-mapped
+        segment views).  Raises ``KeyError`` / ``ValueError`` on
+        missing or malformed entries, which asset stores treat as
+        corruption.
+
+        **View-safe**: when a payload array already has the expected
+        dtype, it is adopted as-is (``np.asarray`` makes no copy) --
+        so read-only ``mmap``-backed views hydrate a bundle with zero
+        array copies, and the bundle stays backed by the OS page
+        cache.  Builds only ever read these arrays (every consumer
+        allocates its own outputs), so read-only views are safe; the
+        golden-fixture tests pin that on the hydrated path.
         """
         ids = np.asarray(payload["ids"], dtype=np.int64)
         categories: dict[Category, CategoryArrays] = {}

@@ -183,7 +183,12 @@ class ItemVectorIndex:
                     f"{matrix.shape[0]} vector rows"
                 )
             for poi_id, row in zip(ids, matrix):
-                vectors[int(poi_id)] = np.array(row, dtype=float)
+                # asarray, not array: when the matrix is a read-only
+                # memory-mapped view (segment hydration), each POI's
+                # vector stays a view of the shared page-cache bytes
+                # instead of a private copy.  ``vector()`` still hands
+                # callers defensive copies.
+                vectors[int(poi_id)] = np.asarray(row, dtype=float)
         missing = [p.id for p in dataset if p.id not in vectors]
         if missing:
             raise ValueError(f"no persisted vectors for POI ids {missing[:5]}")

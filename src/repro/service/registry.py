@@ -235,7 +235,12 @@ class CityRegistry:
         Called under the city's lock.  A hit skips city generation, LDA
         and the array precompute entirely; the builder (cheap -- its
         projection comes from the loaded bundle) is rebuilt around the
-        loaded assets with this registry's serving knobs.
+        loaded assets with this registry's serving knobs.  The arrays
+        arrive as read-only ``mmap`` views of the store's segment file
+        (zero copies), so N workers hydrating one city share its bytes
+        through the OS page cache; the store's ``bytes_mapped`` counter
+        (surfaced in :meth:`stats` under ``store``) tracks how much of
+        the resident footprint is shared that way.
         """
         if self.store is None:
             return None

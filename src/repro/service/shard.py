@@ -581,6 +581,7 @@ class ShardCluster:
             result["utilization"] = (shard_ops / total_ops if total_ops
                                      else 0.0)
         registry: dict = {"counters": {}, "total_bytes": 0}
+        store: dict = {}
         for result in results:
             shard_registry = result.get("registry", {})
             registry["total_bytes"] += shard_registry.get("total_bytes", 0)
@@ -588,6 +589,20 @@ class ShardCluster:
                 registry["counters"][name] = (
                     registry["counters"].get(name, 0) + value
                 )
+            # Store provenance (hits, bytes_mapped, repairs, ...) sums
+            # across workers; the directory census (entries,
+            # disk_bytes) describes the one shared root, so the max is
+            # the honest cluster figure, not the sum.
+            for name, value in (shard_registry.get("store") or {}).items():
+                if isinstance(value, bool) \
+                        or not isinstance(value, (int, float)):
+                    continue
+                fold = max if name in ("entries", "disk_bytes") else \
+                    lambda a, b: a + b
+                store[name] = fold(store[name], value) \
+                    if name in store else value
+        if store:
+            registry["store"] = store
         return {
             "shards": results,
             "placement": self.placement,

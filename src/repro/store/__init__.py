@@ -2,10 +2,15 @@
 
 :class:`AssetStore` keeps each city's query-independent serving
 artifacts (dataset, fitted item vectors, the ``CityArrays`` bundle) on
-disk under a content key, integrity-checked and atomically published,
-so registries and shard workers hydrate in milliseconds instead of
-refitting LDA.  See :mod:`repro.store.assets` for the layout and
-guarantees.
+disk under a content key -- one page-structured binary segment per
+entry (:mod:`repro.store.segment`), integrity-checked per page and
+atomically published -- so registries and shard workers hydrate in
+milliseconds via zero-copy ``mmap`` views instead of refitting LDA,
+and N workers on one host share each city's bytes through the OS page
+cache.  :mod:`repro.store.repair` salvages damaged entries region by
+region; ``python -m repro.store`` is the lifecycle CLI (ls / inspect /
+verify / prune / repair).  See :mod:`repro.store.assets` for the
+layout and guarantees.
 """
 
 from repro.store.assets import (
@@ -14,5 +19,18 @@ from repro.store.assets import (
     CityAssets,
     StoreKey,
 )
+from repro.store.repair import RepairReport, repair_entry, repair_store
+from repro.store.segment import Segment, SegmentError, write_segment
 
-__all__ = ["AssetStore", "CityAssets", "FORMAT_VERSION", "StoreKey"]
+__all__ = [
+    "AssetStore",
+    "CityAssets",
+    "FORMAT_VERSION",
+    "RepairReport",
+    "Segment",
+    "SegmentError",
+    "StoreKey",
+    "repair_entry",
+    "repair_store",
+    "write_segment",
+]

@@ -13,27 +13,43 @@ instead of refitting LDA for seconds.
 Layout (one directory per content key)::
 
     <root>/
-      paris-seed2019-scale0.35-lda50-v1/
-        manifest.json   # format version, key, sha256 per payload file
-        dataset.json    # POIDataset.to_json()
-        index.npz       # per-category item-vector matrices + LDA counts
-        arrays.npz      # CityArrays.export_arrays()
-        meta.json       # schema, LDA hyperparams, arrays scalars
+      paris-seed2019-scale0.35-lda50-c90ff4c1-v2/
+        manifest.json   # format version, key, sha256 + size per file
+        segment.bin     # page-structured binary segment (see below)
+
+``segment.bin`` is a :mod:`repro.store.segment` file: a 64-byte header,
+page-aligned regions (the dataset JSON, the meta JSON, and every array
+of the item index and the ``CityArrays`` export), a crc32-per-page
+checksum table and a JSON directory.  Hydration memory-maps the file
+read-only and hands ``np.frombuffer`` views to
+``CityArrays.from_export`` -- zero copies, so N shard workers on one
+host share each city's array bytes through the OS page cache and
+resident bytes per city stay ~constant regardless of shard count.
 
 Guarantees:
 
 * **Byte-identity.**  A loaded entry builds packages bit-for-bit equal
   to a freshly-fitted one (the golden fixtures assert this on the
-  loaded path).  Arrays round-trip through raw ``npz`` bytes; the
+  loaded path).  Arrays round-trip through raw region bytes; the
   dataset through JSON (``repr`` floats round-trip exactly); LDA
   corpora are rebuilt deterministically from the loaded dataset.
+  Segment bytes themselves are deterministic in the assets, so
+  concurrent writers publish identical files.
 * **Atomic publication.**  Writers assemble a hidden temp directory
   and ``rename`` it into place; readers see either nothing or a
-  complete entry, never a half-written one.
-* **Corruption safety.**  Every payload file's sha256 is recorded in
-  the manifest and verified on load; any mismatch, truncation, missing
-  file, version skew or parse error makes :meth:`AssetStore.load`
-  return ``None`` -- the caller refits, it never crashes serving.
+  complete entry, never a half-written one.  Temp directories leaked
+  by crashed writers are reaped (age-gated) on store init and by
+  ``prune``.
+* **Corruption safety.**  :meth:`AssetStore.load` checks the manifest
+  and every data page's crc32; any mismatch, truncation, missing file,
+  version skew or parse error makes it return ``None`` -- the caller
+  refits, it never crashes serving.  :mod:`repro.store.repair` can
+  instead salvage the regions whose pages still pass and refit only
+  what the damage destroyed.
+* **Distinct keys never collide.**  Directory names carry a short hash
+  of the exact key, so two cities that sanitize to the same slug
+  (``"são paulo"`` vs ``"s_o paulo"``) publish side by side instead of
+  evicting each other's entries.
 """
 
 from __future__ import annotations
@@ -43,6 +59,7 @@ import json
 import os
 import re
 import shutil
+import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
@@ -56,20 +73,34 @@ from repro.data.poi import CATEGORIES, Category
 from repro.obs import stage
 from repro.profiles.schema import ProfileSchema
 from repro.profiles.vectors import ItemVectorIndex
+from repro.store.segment import Segment, SegmentError, write_segment
 
 #: Bump when the on-disk layout changes; entries of other versions are
-#: treated as misses (never best-effort parsed).
-FORMAT_VERSION = 1
+#: treated as misses (never best-effort parsed) and pruned as stale.
+#: v2: the dataset.json + index.npz + arrays.npz payload became one
+#: page-structured ``segment.bin`` hydrated by mmap.
+FORMAT_VERSION = 2
 
 _MANIFEST = "manifest.json"
-_DATASET = "dataset.json"
-_INDEX = "index.npz"
-_ARRAYS = "arrays.npz"
-_META = "meta.json"
-_PAYLOAD_FILES = (_DATASET, _INDEX, _ARRAYS, _META)
+_SEGMENT = "segment.bin"
+_PAYLOAD_FILES = (_SEGMENT,)
 
-#: LDA array-state keys persisted per topic model, in npz-key order.
+#: Temp directories older than this are considered crash litter and
+#: reaped on store init / ``prune`` (a healthy writer publishes in
+#: well under a minute).
+TMP_TTL_S = 3600.0
+
+#: LDA array-state keys persisted per topic model, in region-key order.
 _LDA_ARRAY_KEYS = ("doc_topic", "topic_word", "topic_totals")
+
+#: Region-name prefixes inside the segment.
+_R_DATASET = "dataset"
+_R_META = "meta"
+_R_INDEX = "index/"
+_R_ARRAYS = "arrays/"
+
+#: Entry directory names end in the format-version tag.
+_VERSION_SUFFIX = re.compile(r"-v(\d+)$")
 
 
 @dataclass(frozen=True)
@@ -87,9 +118,17 @@ class StoreKey:
     lda_iterations: int
 
     def dirname(self) -> str:
+        # The slug is for humans; the hash is the identity.  Distinct
+        # keys whose cities sanitize to one slug ("são paulo" vs
+        # "s_o paulo") must not share a directory, or each saver would
+        # treat the other's valid entry as corrupt and replace it --
+        # a perpetual eviction thrash.
         slug = re.sub(r"[^a-z0-9_-]+", "_", self.city.lower()) or "city"
+        digest = hashlib.sha256(
+            json.dumps(self.to_dict(), sort_keys=True).encode("utf-8")
+        ).hexdigest()[:8]
         return (f"{slug}-seed{self.seed}-scale{self.scale!r}"
-                f"-lda{self.lda_iterations}-v{FORMAT_VERSION}")
+                f"-lda{self.lda_iterations}-{digest}-v{FORMAT_VERSION}")
 
     def to_dict(self) -> dict:
         return {"city": self.city.lower(), "seed": self.seed,
@@ -114,9 +153,67 @@ def _sha256(path: Path) -> str:
     return digest.hexdigest()
 
 
+def _tree_bytes(path: Path) -> int:
+    total = 0
+    for child in path.glob("*"):
+        try:
+            total += child.stat().st_size
+        except OSError:
+            pass
+    return total
+
+
 class StoreCorruption(Exception):
     """Internal: an entry exists but cannot be trusted (bad digest,
     missing file, malformed payload).  Never escapes :meth:`load`."""
+
+
+# -- segment decoding ---------------------------------------------------------
+#
+# Shared by the load path and by :mod:`repro.store.repair`, which
+# salvages these pieces individually when only some regions survive.
+
+def read_meta(segment: Segment) -> dict:
+    """The entry's meta region (key echo, schema, LDA hyperparams,
+    arrays scalars)."""
+    return json.loads(segment.json_bytes(_R_META))
+
+
+def read_dataset(segment: Segment) -> POIDataset:
+    """The dataset JSON region, decoded."""
+    return POIDataset.from_json(segment.json_bytes(_R_DATASET).decode("utf-8"))
+
+
+def restore_index(segment: Segment, dataset: POIDataset,
+                  meta: dict) -> ItemVectorIndex:
+    """The fitted item-vector index, rebuilt from zero-copy views of
+    the ``index/*`` regions (LDA corpora come deterministically from
+    ``dataset``)."""
+    schema = ProfileSchema.from_dict(meta["schema"])
+    category_vectors = {}
+    for cat in CATEGORIES:
+        category_vectors[cat] = (
+            np.asarray(segment.array(f"{_R_INDEX}ids__{cat.value}"),
+                       dtype=np.int64),
+            np.asarray(segment.array(f"{_R_INDEX}vectors__{cat.value}"),
+                       dtype=float),
+        )
+    topic_states = {}
+    for cat_value, params in meta["lda"].items():
+        cat = Category.parse(cat_value)
+        state = dict(params)
+        for name in _LDA_ARRAY_KEYS:
+            state[name] = segment.array(f"{_R_INDEX}lda__{cat.value}__{name}")
+        topic_states[cat] = state
+    return ItemVectorIndex.restore(dataset, schema, category_vectors,
+                                   topic_states)
+
+
+def restore_arrays(segment: Segment, meta: dict) -> CityArrays:
+    """The ``CityArrays`` bundle as read-only views of the ``arrays/*``
+    regions -- the zero-copy hydration path."""
+    return CityArrays.from_export(segment.arrays_with_prefix(_R_ARRAYS),
+                                  meta["arrays"])
 
 
 class AssetStore:
@@ -124,6 +221,8 @@ class AssetStore:
 
     Args:
         root: Store directory; created (with parents) if absent.
+            Stale ``.tmp-*`` litter from crashed writers is reaped on
+            init (age-gated by :data:`TMP_TTL_S`).
 
     Thread- and process-safe for its intended access pattern: many
     concurrent readers, plus writers that only ever publish the same
@@ -136,11 +235,16 @@ class AssetStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = Lock()
         self._counters = {"hits": 0, "misses": 0, "corrupt": 0,
-                          "writes": 0, "write_races": 0}
+                          "writes": 0, "write_races": 0, "bytes_mapped": 0,
+                          "reaped_tmp": 0, "pruned": 0, "repairs": 0}
+        try:
+            self.reap_tmp()
+        except OSError:  # pragma: no cover - init stays best-effort
+            pass
 
-    def _count(self, name: str) -> None:
+    def _count(self, name: str, amount: int = 1) -> None:
         with self._lock:
-            self._counters[name] += 1
+            self._counters[name] += amount
 
     # -- keys --------------------------------------------------------------
 
@@ -155,20 +259,36 @@ class AssetStore:
         return self.root / key.dirname()
 
     def contains(self, city: str, *, seed: int, scale: float,
-                 lda_iterations: int) -> bool:
-        """Whether a *valid* entry exists for the key (digests checked)."""
+                 lda_iterations: int, verify_digests: bool = False) -> bool:
+        """Whether an entry exists for the key.
+
+        The default check is **manifest-only** (parse, key/version
+        match, payload files present with their recorded sizes) -- a
+        few stat calls, so registry warmup pre-checks cost nothing.
+        ``verify_digests=True`` additionally checksums every data page
+        and the whole-file sha256, the full ``load``-grade guarantee.
+        """
         key = self.key(city, seed=seed, scale=scale,
                        lda_iterations=lda_iterations)
+        entry = self.path(key)
         try:
-            self._verify(self.path(key), key)
-            return True
+            manifest = self._manifest(entry, key)
+            if verify_digests:
+                self._verify_payload(entry, manifest)
         except StoreCorruption:
             return False
+        return True
 
     def keys(self) -> list[str]:
-        """Directory names of published entries (valid or not)."""
+        """Directory names of published entries (valid or not,
+        including stale format versions)."""
         return sorted(p.name for p in self.root.iterdir()
                       if p.is_dir() and not p.name.startswith("."))
+
+    def tmp_dirs(self) -> list[Path]:
+        """In-flight (or leaked) writer temp directories."""
+        return sorted(p for p in self.root.iterdir()
+                      if p.is_dir() and p.name.startswith(".tmp-"))
 
     # -- saving ------------------------------------------------------------
 
@@ -191,7 +311,8 @@ class AssetStore:
             with stage("store_write", city=city):
                 self._write_payload(tmp, key, assets)
             try:
-                self._verify(final, key)
+                manifest = self._manifest(final, key)
+                self._verify_payload(final, manifest)
             except StoreCorruption:
                 # Missing or untrustworthy: replace.  (A reader racing
                 # this replace sees either the old entry -- which it
@@ -216,49 +337,58 @@ class AssetStore:
 
     def _write_payload(self, into: Path, key: StoreKey,
                        assets: CityAssets) -> None:
-        (into / _DATASET).write_text(assets.dataset.to_json())
-
-        index_payload: dict[str, np.ndarray] = {}
+        arrays: dict[str, np.ndarray] = {}
         lda_meta: dict[str, dict] = {}
         for cat, (ids, matrix) in assets.item_index.category_vectors(
                 assets.dataset).items():
-            index_payload[f"ids__{cat.value}"] = ids
-            index_payload[f"vectors__{cat.value}"] = matrix
+            arrays[f"{_R_INDEX}ids__{cat.value}"] = ids
+            arrays[f"{_R_INDEX}vectors__{cat.value}"] = matrix
         for cat, state in assets.item_index.topic_model_states().items():
             for name in _LDA_ARRAY_KEYS:
-                index_payload[f"lda__{cat.value}__{name}"] = state[name]
+                arrays[f"{_R_INDEX}lda__{cat.value}__{name}"] = state[name]
             lda_meta[cat.value] = {
                 k: state[k] for k in ("n_topics", "alpha", "beta",
                                       "n_iterations")
             }
-        with (into / _INDEX).open("wb") as handle:
-            np.savez(handle, **index_payload)
-
-        with (into / _ARRAYS).open("wb") as handle:
-            np.savez(handle, **assets.arrays.export_arrays())
+        for name, array in assets.arrays.export_arrays().items():
+            arrays[f"{_R_ARRAYS}{name}"] = array
 
         meta = {
+            "key": key.to_dict(),
             "schema": assets.item_index.schema.to_dict(),
             "lda": lda_meta,
             "arrays": assets.arrays.export_meta(),
         }
-        (into / _META).write_text(json.dumps(meta))
+        segment_path = into / _SEGMENT
+        write_segment(
+            segment_path,
+            json_blobs={
+                _R_META: json.dumps(meta, sort_keys=True).encode("utf-8"),
+                _R_DATASET: assets.dataset.to_json().encode("utf-8"),
+            },
+            arrays=arrays,
+            format_version=FORMAT_VERSION,
+        )
 
         manifest = {
             "format_version": FORMAT_VERSION,
             "key": key.to_dict(),
-            "files": {name: _sha256(into / name)
+            "files": {name: {"sha256": _sha256(into / name),
+                             "nbytes": (into / name).stat().st_size}
                       for name in _PAYLOAD_FILES},
         }
-        (into / _MANIFEST).write_text(json.dumps(manifest))
+        (into / _MANIFEST).write_text(json.dumps(manifest, sort_keys=True))
 
     # -- loading -----------------------------------------------------------
 
-    def _verify(self, entry: Path, key: StoreKey) -> dict:
-        """The entry's manifest, after the integrity checks.
+    def _manifest(self, entry: Path, key: StoreKey | None) -> dict:
+        """The entry's manifest after the *cheap* integrity checks:
+        parse, format version, key echo, payload files present with
+        their recorded sizes.  No payload bytes are read.
 
         Raises :class:`StoreCorruption` on any reason to distrust the
-        entry: absence, version/key mismatch, digest mismatch.
+        entry.  ``key=None`` skips the key-echo comparison (lifecycle
+        tooling walking unknown entries).
         """
         try:
             manifest = json.loads((entry / _MANIFEST).read_text())
@@ -271,18 +401,35 @@ class AssetStore:
                 f"format version {manifest.get('format_version')!r} "
                 f"!= {FORMAT_VERSION}"
             )
-        if manifest.get("key") != key.to_dict():
+        if key is not None and manifest.get("key") != key.to_dict():
             raise StoreCorruption("manifest key does not match the request")
         files = manifest.get("files")
         if not isinstance(files, dict) or set(files) != set(_PAYLOAD_FILES):
             raise StoreCorruption("manifest file list is malformed")
-        for name, digest in files.items():
+        for name, record in files.items():
+            if not isinstance(record, dict) \
+                    or not isinstance(record.get("sha256"), str) \
+                    or not isinstance(record.get("nbytes"), int):
+                raise StoreCorruption(f"malformed file record for {name}")
             path = entry / name
             if not path.is_file():
                 raise StoreCorruption(f"missing payload file {name}")
-            if _sha256(path) != digest:
-                raise StoreCorruption(f"digest mismatch on {name}")
+            if path.stat().st_size != record["nbytes"]:
+                raise StoreCorruption(f"size mismatch on {name}")
         return manifest
+
+    def _verify_payload(self, entry: Path, manifest: dict) -> None:
+        """The deep check: every data page's crc32 plus the manifest's
+        whole-file sha256.  One sequential read of the segment."""
+        try:
+            segment = Segment.open(entry / _SEGMENT, verify_pages=True,
+                                   expect_version=FORMAT_VERSION)
+        except SegmentError as exc:
+            raise StoreCorruption(str(exc)) from exc
+        del segment
+        for name, record in manifest["files"].items():
+            if _sha256(entry / name) != record["sha256"]:
+                raise StoreCorruption(f"digest mismatch on {name}")
 
     def load(self, city: str, *, seed: int, scale: float,
              lda_iterations: int) -> CityAssets | None:
@@ -293,6 +440,10 @@ class AssetStore:
         unparseable payload.  The caller's contract is simply "fit when
         the store cannot serve"; a bad entry must degrade to a refit,
         never to an exception on the serving path.
+
+        A hit costs one crc32 pass over the segment (the page
+        checksums) and *zero array copies*: the returned arrays are
+        read-only views onto the shared memory mapping.
         """
         key = self.key(city, seed=seed, scale=scale,
                        lda_iterations=lda_iterations)
@@ -301,64 +452,125 @@ class AssetStore:
             self._count("misses")
             return None
         try:
-            self._verify(entry, key)
+            self._manifest(entry, key)
             with stage("store_read", city=city):
-                assets = self._read_payload(entry)
+                assets, mapped = self._read_payload(entry)
         except StoreCorruption:
             self._count("corrupt")
             return None
         self._count("hits")
+        self._count("bytes_mapped", mapped)
         return assets
 
-    def _read_payload(self, entry: Path) -> CityAssets:
+    def _read_payload(self, entry: Path) -> tuple[CityAssets, int]:
         try:
-            dataset = POIDataset.from_json((entry / _DATASET).read_text())
-            meta = json.loads((entry / _META).read_text())
-            schema = ProfileSchema.from_dict(meta["schema"])
-            with np.load(entry / _INDEX) as index_npz:
-                category_vectors = {}
-                for cat in CATEGORIES:
-                    category_vectors[cat] = (
-                        np.asarray(index_npz[f"ids__{cat.value}"],
-                                   dtype=np.int64),
-                        np.asarray(index_npz[f"vectors__{cat.value}"],
-                                   dtype=float),
-                    )
-                topic_states = {}
-                for cat_value, params in meta["lda"].items():
-                    cat = Category.parse(cat_value)
-                    state = dict(params)
-                    for name in _LDA_ARRAY_KEYS:
-                        state[name] = index_npz[f"lda__{cat.value}__{name}"]
-                    topic_states[cat] = state
-            item_index = ItemVectorIndex.restore(
-                dataset, schema, category_vectors, topic_states
-            )
-            with np.load(entry / _ARRAYS) as arrays_npz:
-                arrays = CityArrays.from_export(arrays_npz, meta["arrays"])
+            segment = Segment.open(entry / _SEGMENT, verify_pages=True,
+                                   expect_version=FORMAT_VERSION)
+        except SegmentError as exc:
+            raise StoreCorruption(str(exc)) from exc
+        try:
+            meta = read_meta(segment)
+            dataset = read_dataset(segment)
+            item_index = restore_index(segment, dataset, meta)
+            arrays = restore_arrays(segment, meta)
         except Exception as exc:
-            # Anything the decoders throw -- zip truncation, bad JSON,
-            # shape mismatches in restore() -- is corruption by
-            # definition here: the digests passed, so the *format*
-            # contract was broken, and refitting is the only safe answer.
+            # Anything the decoders throw -- region-shape mismatches,
+            # bad JSON, restore() validation -- is corruption by
+            # definition here: the page checksums passed, so the
+            # *format* contract was broken, and refitting is the only
+            # safe answer.
             raise StoreCorruption(f"unreadable payload: {exc}") from exc
         if len(arrays) != len(dataset):
             raise StoreCorruption("arrays bundle does not match the dataset")
-        return CityAssets(dataset=dataset, item_index=item_index,
-                          arrays=arrays)
+        return (CityAssets(dataset=dataset, item_index=item_index,
+                           arrays=arrays), segment.nbytes_file)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reap_tmp(self, ttl_s: float = TMP_TTL_S,
+                 dry_run: bool = False) -> list[str]:
+        """Remove writer temp directories older than ``ttl_s``.
+
+        A SIGKILL between payload write and rename leaks the hidden
+        ``.tmp-*`` directory forever otherwise -- ``keys()``/``stats()``
+        skip dot-dirs, so nothing else would ever notice the disk.
+        The age gate keeps live writers (which publish in seconds)
+        safe.  Returns the names reaped (or that would be).
+        """
+        now = time.time()
+        reaped: list[str] = []
+        for tmp in self.tmp_dirs():
+            try:
+                age = now - tmp.stat().st_mtime
+            except OSError:
+                continue
+            if age < ttl_s:
+                continue
+            reaped.append(tmp.name)
+            if not dry_run:
+                shutil.rmtree(tmp, ignore_errors=True)
+        if reaped and not dry_run:
+            self._count("reaped_tmp", len(reaped))
+        return reaped
+
+    def prune(self, *, max_entries: int | None = None,
+              max_bytes: int | None = None, tmp_ttl_s: float = TMP_TTL_S,
+              dry_run: bool = False) -> dict:
+        """Reclaim disk: stale format versions, crash litter, and --
+        when ``max_entries``/``max_bytes`` are set -- least-recently-used
+        current entries (by segment atime, falling back to mtime).
+
+        Returns a JSON-ready report of what was (or would be) removed.
+        Never touches the entry another process is mid-way through
+        publishing: temp directories stay age-gated.
+        """
+        stale: list[str] = []
+        current: list[tuple[float, int, str]] = []  # (last_used, bytes, name)
+        for name in self.keys():
+            entry = self.root / name
+            match = _VERSION_SUFFIX.search(name)
+            if match is None or int(match.group(1)) != FORMAT_VERSION:
+                stale.append(name)
+                continue
+            probe = entry / _SEGMENT
+            try:
+                stat = (probe if probe.is_file() else entry).stat()
+                last_used = max(stat.st_atime, stat.st_mtime)
+            except OSError:
+                last_used = 0.0
+            current.append((last_used, _tree_bytes(entry), name))
+
+        current.sort()  # oldest first
+        lru: list[str] = []
+        kept = len(current)
+        kept_bytes = sum(size for _, size, _ in current)
+        for last_used, size, name in current:
+            over_count = max_entries is not None and kept > max_entries
+            over_bytes = max_bytes is not None and kept_bytes > max_bytes
+            if not (over_count or over_bytes):
+                break
+            lru.append(name)
+            kept -= 1
+            kept_bytes -= size
+
+        freed = 0
+        for name in stale + lru:
+            freed += _tree_bytes(self.root / name)
+            if not dry_run:
+                shutil.rmtree(self.root / name, ignore_errors=True)
+        tmp = self.reap_tmp(tmp_ttl_s, dry_run=dry_run)
+        if (stale or lru) and not dry_run:
+            self._count("pruned", len(stale) + len(lru))
+        return {"stale_version": stale, "lru": lru, "tmp": tmp,
+                "kept": kept, "kept_bytes": kept_bytes,
+                "freed_bytes": freed, "dry_run": dry_run}
 
     # -- observability -----------------------------------------------------
 
     def stats(self) -> dict:
         """Counters plus a cheap directory census."""
         entries = self.keys()
-        total = 0
-        for name in entries:
-            for path in (self.root / name).glob("*"):
-                try:
-                    total += path.stat().st_size
-                except OSError:
-                    pass
+        total = sum(_tree_bytes(self.root / name) for name in entries)
         with self._lock:
             counters = dict(self._counters)
         return {"root": str(self.root), "entries": len(entries),

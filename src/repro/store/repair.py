@@ -1,0 +1,237 @@
+"""Salvage-what-passes recovery for damaged store entries.
+
+:meth:`~repro.store.assets.AssetStore.load` treats any defect as a
+miss: safe on the serving path, but it discards everything an entry
+still holds -- and refitting LDA is the expensive part.  This module
+is the offline alternative: diagnose exactly which pages of an entry's
+segment fail their checksums, keep every region that still passes, and
+refit only what the damage actually destroyed.
+
+The per-page checksums make the diagnosis precise, and the region/page
+alignment (each data page belongs to exactly one region) makes it
+safe: a flipped byte in one ``arrays/*`` page costs an array rebuild
+(milliseconds), not an LDA refit (seconds) -- and never touches the
+intact dataset or index bytes, so the repaired entry is byte-identical
+to a fresh fit (everything in the store is deterministic in the key).
+
+Salvage rules, from the segment's region map:
+
+==============================  =============================================
+damaged                         recovery
+==============================  =============================================
+nothing (manifest only)         rewrite the entry from the intact segment
+``arrays/*`` region(s)          rebuild ``CityArrays`` from dataset + index
+``index/*`` region(s)           refit the item index from the dataset
+``meta``                        refit index + arrays (schema/scalars live
+                                in meta; the dataset is still salvaged)
+``dataset``                     regenerate from the key (template cities
+                                only -- others are unrecoverable)
+header / directory / checksums  nothing salvageable: full refit from the
+                                key, or unrecoverable without one
+==============================  =============================================
+
+The key itself is recoverable from two places (manifest, or the
+``meta`` region's echo), so even a destroyed manifest does not doom an
+entry.  Repairs republish through :meth:`AssetStore.save` -- the same
+atomic tmp-dir + rename, so readers racing a repair never see a blend.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.arrays import CityArrays
+from repro.data.synthetic import generate_city
+from repro.profiles.vectors import ItemVectorIndex
+from repro.store.assets import (
+    _MANIFEST,
+    _R_ARRAYS,
+    _R_DATASET,
+    _R_INDEX,
+    _R_META,
+    _SEGMENT,
+    FORMAT_VERSION,
+    AssetStore,
+    CityAssets,
+    StoreCorruption,
+    StoreKey,
+    read_dataset,
+    read_meta,
+    restore_arrays,
+    restore_index,
+)
+from repro.store.segment import Segment, SegmentError
+
+#: The salvageable parts of an entry, in refit-cost order.
+_PARTS = ("dataset", "index", "arrays")
+
+
+@dataclass
+class RepairReport:
+    """What :func:`repair_entry` found and did for one entry.
+
+    ``status`` is one of ``ok`` (nothing wrong), ``repaired`` (entry
+    republished), ``repairable`` (dry run: a repair would succeed),
+    ``stale`` (other format version -- ``prune``'s job, not ours) or
+    ``unrecoverable`` (no trustworthy key, or a non-template city's
+    dataset is gone).
+    """
+
+    name: str
+    status: str
+    city: str | None = None
+    damaged_pages: int = 0
+    damaged_regions: tuple[str, ...] = ()
+    salvaged: tuple[str, ...] = ()
+    refitted: tuple[str, ...] = ()
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "status": self.status, "city": self.city,
+                "damaged_pages": self.damaged_pages,
+                "damaged_regions": list(self.damaged_regions),
+                "salvaged": list(self.salvaged),
+                "refitted": list(self.refitted), "detail": self.detail}
+
+
+def _region_part(name: str) -> str | None:
+    """Which salvageable part a region belongs to."""
+    if name == _R_DATASET:
+        return "dataset"
+    if name == _R_META:
+        return "meta"
+    if name.startswith(_R_INDEX):
+        return "index"
+    if name.startswith(_R_ARRAYS):
+        return "arrays"
+    return None
+
+
+def _recover_key(store: AssetStore, entry: Path,
+                 segment: Segment | None,
+                 meta_ok: bool) -> StoreKey | None:
+    """The entry's content key, from the manifest or the segment's
+    meta-region echo -- ``None`` when neither survives."""
+    for source in ("manifest", "meta"):
+        try:
+            if source == "manifest":
+                raw = json.loads((entry / _MANIFEST).read_text()).get("key")
+            elif segment is not None and meta_ok:
+                raw = read_meta(segment).get("key")
+            else:
+                continue
+            if (isinstance(raw, dict)
+                    and raw.get("format_version") == FORMAT_VERSION):
+                return store.key(str(raw["city"]), seed=raw["seed"],
+                                 scale=raw["scale"],
+                                 lda_iterations=raw["lda_iterations"])
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+    return None
+
+
+def repair_entry(store: AssetStore, name: str, *,
+                 dry_run: bool = False) -> RepairReport:
+    """Diagnose one entry directory and (unless ``dry_run``) republish
+    it with every salvageable region kept and the rest refitted."""
+    entry = store.root / name
+
+    # Stale format versions are prune's business, not repair's.
+    try:
+        manifest = json.loads((entry / _MANIFEST).read_text())
+        if isinstance(manifest, dict) \
+                and manifest.get("format_version") not in (None,
+                                                           FORMAT_VERSION):
+            return RepairReport(name=name, status="stale",
+                                detail="other format version; run prune")
+    except (OSError, json.JSONDecodeError):
+        pass
+
+    segment: Segment | None = None
+    damaged_regions: tuple[str, ...] = ()
+    bad_pages: list[int] = []
+    structural = ""
+    try:
+        segment = Segment.open(entry / _SEGMENT, verify_pages=False,
+                               expect_version=FORMAT_VERSION)
+        bad_pages = segment.verify()
+        damaged_regions = tuple(segment.damaged_regions(bad_pages))
+    except (SegmentError, OSError) as exc:
+        structural = str(exc)
+
+    damaged_parts = {_region_part(r) for r in damaged_regions}
+    meta_ok = segment is not None and "meta" not in damaged_parts
+    ok = {
+        "dataset": segment is not None and "dataset" not in damaged_parts,
+        # index/arrays need meta too: the schema, LDA hyperparameters
+        # and arrays scalars live there.
+        "index": meta_ok and "index" not in damaged_parts,
+        "arrays": meta_ok and "arrays" not in damaged_parts,
+    }
+
+    key = _recover_key(store, entry, segment, meta_ok)
+    report = RepairReport(
+        name=name, status="ok", city=key.city if key else None,
+        damaged_pages=len(bad_pages), damaged_regions=damaged_regions,
+        salvaged=tuple(p for p in _PARTS if ok[p]),
+        refitted=tuple(p for p in _PARTS if not ok[p]),
+        detail=structural,
+    )
+
+    manifest_ok = True
+    try:
+        store._manifest(entry, key)
+    except StoreCorruption as exc:
+        manifest_ok = False
+        if not report.detail:
+            report.detail = str(exc)
+
+    if segment is not None and not bad_pages and manifest_ok:
+        return report  # status "ok": loadable as-is
+    if key is None:
+        report.status = "unrecoverable"
+        report.detail = report.detail or "no trustworthy key survives"
+        return report
+
+    try:
+        if ok["dataset"]:
+            dataset = read_dataset(segment)
+        else:
+            # Deterministic in the key -- byte-identical to the lost
+            # region for template cities; anything else is gone.
+            dataset = generate_city(key.city, seed=key.seed, scale=key.scale)
+        meta = read_meta(segment) if meta_ok else None
+        if ok["index"]:
+            item_index = restore_index(segment, dataset, meta)
+        else:
+            item_index = ItemVectorIndex.fit(
+                dataset, lda_iterations=key.lda_iterations, seed=key.seed)
+        if ok["arrays"]:
+            arrays = restore_arrays(segment, meta)
+        else:
+            arrays = CityArrays.build(dataset, item_index)
+        assets = CityAssets(dataset=dataset, item_index=item_index,
+                            arrays=arrays)
+    except Exception as exc:
+        report.status = "unrecoverable"
+        report.detail = str(exc) or exc.__class__.__name__
+        return report
+
+    if dry_run:
+        report.status = "repairable"
+        return report
+    store.save(assets, city=key.city, seed=key.seed, scale=key.scale,
+               lda_iterations=key.lda_iterations)
+    store._count("repairs")
+    report.status = "repaired"
+    return report
+
+
+def repair_store(store: AssetStore, names: list[str] | None = None, *,
+                 dry_run: bool = False) -> list[RepairReport]:
+    """Run :func:`repair_entry` over ``names`` (default: every
+    published entry), in name order."""
+    return [repair_entry(store, name, dry_run=dry_run)
+            for name in (names if names is not None else store.keys())]

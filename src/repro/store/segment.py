@@ -1,0 +1,387 @@
+"""The page-structured binary segment: one file per city entry.
+
+A segment packs everything an :class:`~repro.store.assets.AssetStore`
+entry holds -- JSON blobs (dataset, meta) and numpy arrays (item-vector
+matrices, LDA counts, the full ``CityArrays`` export) -- into a single
+file built from fixed-size pages:
+
+.. code-block:: text
+
+    page 0        64-byte header, zero-padded to one page
+    pages 1..N    region data; every region starts on a page boundary
+                  and is zero-padded to a whole number of pages, so
+                  each data page belongs to exactly one region
+    (unaligned)   checksum table: one crc32 per data page
+    (unaligned)   directory: JSON array of region records
+                  {name, kind, offset, nbytes, dtype, shape}
+
+The header records the page size, page count, and the offset, length
+and crc32 of both trailing tables, plus its own crc32 -- so a reader
+can trust the *structure* after touching only the header and the two
+small tables, without faulting in a single data page.
+
+Why pages?
+
+* **Zero-copy hydration.**  Regions are page-aligned, so
+  ``np.frombuffer`` over a read-only ``mmap`` yields aligned, read-only
+  array views directly onto the OS page cache.  N worker processes
+  mapping one segment share its physical pages; resident bytes per
+  city stay ~constant regardless of how many workers serve it.
+* **Cheap verification.**  ``crc32`` per page streams at memory
+  bandwidth (no sha256, no decompression), so ``verify`` costs one
+  sequential read -- and the pages it faults in are the same shared
+  page-cache pages hydration uses.
+* **Salvageable damage.**  A bad page names exactly one region, so
+  :mod:`repro.store.repair` can keep every region whose pages pass and
+  refit only what the damage actually destroyed.
+
+Byte-determinism: identical inputs produce identical segment bytes
+(regions are laid out in sorted order, JSON is dumped with sorted keys,
+padding is zeros, and no timestamps are written -- unlike zip-based
+``npz``), which is what lets concurrent writers publish equal files
+and lets ``repair`` restore golden-fixture bytes exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+#: Default page size; 4 KiB matches the kernel page size on every
+#: platform this runs on, so region alignment is also mmap alignment.
+DEFAULT_PAGE_SIZE = 4096
+
+#: First bytes of every segment file.
+MAGIC = b"GTSG"
+
+#: On-disk header: magic, format version, reserved, page size, data
+#: page count, data offset, checksum-table offset, directory offset,
+#: directory length, checksum-table crc32, directory crc32, header
+#: crc32 (of everything before it).  64 bytes exactly.
+_HEADER = struct.Struct("<4sHHIQQQQQIII")
+_HEADER_SIZE = 64
+
+_JSON_KIND = "json"
+_ARRAY_KIND = "array"
+
+
+class SegmentError(Exception):
+    """The file is not a trustworthy segment (truncated, bad magic,
+    version skew, checksum mismatch, malformed directory)."""
+
+
+@dataclass(frozen=True)
+class Region:
+    """One named byte range of a segment.
+
+    ``offset``/``nbytes`` address the file; ``pages`` is the half-open
+    ``(first, count)`` range of data pages the region owns.  Arrays
+    carry their dtype string and shape; JSON blobs leave both ``None``.
+    """
+
+    name: str
+    kind: str
+    offset: int
+    nbytes: int
+    pages: tuple[int, int]
+    dtype: str | None = None
+    shape: tuple[int, ...] | None = None
+
+
+def _page_count(nbytes: int, page_size: int) -> int:
+    return max(1, -(-nbytes // page_size))
+
+
+def write_segment(path: str | Path, *, json_blobs: dict[str, bytes],
+                  arrays: dict[str, np.ndarray],
+                  page_size: int = DEFAULT_PAGE_SIZE,
+                  format_version: int = 2) -> Path:
+    """Write one segment file; returns ``path``.
+
+    ``json_blobs`` are laid out first in the given order, then
+    ``arrays`` sorted by name -- both deterministic, so equal inputs
+    produce byte-equal files.  Arrays are written C-contiguous;
+    object dtypes are rejected (they cannot be mapped back as views).
+    """
+    path = Path(path)
+    regions: list[dict] = []
+    chunks: list[bytes] = []
+    page = 0
+    offset = page_size  # data starts after the header page
+
+    def _add(name: str, kind: str, data: bytes, dtype=None, shape=None):
+        nonlocal page, offset
+        n_pages = _page_count(len(data), page_size)
+        record = {"kind": kind, "name": name, "nbytes": len(data),
+                  "offset": offset, "pages": [page, n_pages]}
+        if dtype is not None:
+            record["dtype"] = dtype
+            record["shape"] = list(shape)
+        regions.append(record)
+        chunks.append(data)
+        chunks.append(b"\x00" * (n_pages * page_size - len(data)))
+        page += n_pages
+        offset += n_pages * page_size
+
+    for name, blob in json_blobs.items():
+        _add(name, _JSON_KIND, blob)
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        if arr.dtype.hasobject:
+            raise SegmentError(f"region {name!r}: object dtypes cannot "
+                               f"be stored in a segment")
+        _add(name, _ARRAY_KIND, arr.tobytes(), dtype=arr.dtype.str,
+             shape=arr.shape)
+
+    data = b"".join(chunks)
+    n_pages = page
+    sums = b"".join(
+        struct.pack("<I", zlib.crc32(data[i * page_size:(i + 1) * page_size]))
+        for i in range(n_pages)
+    )
+    directory = json.dumps({"regions": regions}, sort_keys=True,
+                           separators=(",", ":")).encode("utf-8")
+    sums_offset = page_size + n_pages * page_size
+    dir_offset = sums_offset + len(sums)
+
+    header = _HEADER.pack(
+        MAGIC, format_version, 0, page_size, n_pages, page_size,
+        sums_offset, dir_offset, len(directory),
+        zlib.crc32(sums), zlib.crc32(directory), 0,
+    )
+    # The final u32 is the header's own crc, computed over the packed
+    # bytes that precede it.
+    header = header[:-4] + struct.pack("<I", zlib.crc32(header[:-4]))
+    assert len(header) == _HEADER_SIZE
+
+    with path.open("wb") as handle:
+        handle.write(header)
+        handle.write(b"\x00" * (page_size - _HEADER_SIZE))
+        handle.write(data)
+        handle.write(sums)
+        handle.write(directory)
+    return path
+
+
+class Segment:
+    """A read-only, memory-mapped segment file.
+
+    :meth:`open` validates the structure (header, checksum table,
+    directory) from a handful of pages; ``verify_pages=True`` also
+    checksums every data page (one sequential read).  :meth:`array`
+    returns zero-copy read-only views onto the mapping -- the arrays
+    keep the mapping alive through their ``base`` chain, so the
+    segment object itself may be dropped.
+    """
+
+    def __init__(self, path: Path, mm: mmap.mmap, page_size: int,
+                 n_pages: int, regions: dict[str, Region],
+                 format_version: int) -> None:
+        self.path = path
+        self.page_size = page_size
+        self.n_pages = n_pages
+        self.regions = regions
+        self.format_version = format_version
+        self._mm = mm
+
+    # -- opening -----------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str | Path, *, verify_pages: bool = True,
+             expect_version: int | None = None) -> "Segment":
+        path = Path(path)
+        try:
+            with path.open("rb") as handle:
+                mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            raise SegmentError(f"cannot map {path}: {exc}") from exc
+
+        try:
+            segment = cls._parse(path, mm)
+        except SegmentError:
+            mm.close()
+            raise
+        if expect_version is not None \
+                and segment.format_version != expect_version:
+            mm.close()
+            raise SegmentError(
+                f"format version {segment.format_version} "
+                f"!= expected {expect_version}")
+        if verify_pages:
+            bad = segment.verify()
+            if bad:
+                mm.close()
+                raise SegmentError(
+                    f"{len(bad)} corrupt page(s): {bad[:8]}")
+        return segment
+
+    @classmethod
+    def _parse(cls, path: Path, mm: mmap.mmap) -> "Segment":
+        if len(mm) < _HEADER_SIZE:
+            raise SegmentError("file shorter than the header")
+        fields = _HEADER.unpack(mm[:_HEADER_SIZE])
+        (magic, version, _reserved, page_size, n_pages, data_offset,
+         sums_offset, dir_offset, dir_nbytes, sums_crc, dir_crc,
+         header_crc) = fields
+        if magic != MAGIC:
+            raise SegmentError(f"bad magic {magic!r}")
+        if zlib.crc32(mm[:_HEADER_SIZE - 4]) != header_crc:
+            raise SegmentError("header checksum mismatch")
+        if page_size < 512 or page_size > (1 << 24) \
+                or page_size & (page_size - 1):
+            raise SegmentError(f"implausible page size {page_size}")
+        if data_offset != page_size \
+                or sums_offset != page_size * (1 + n_pages) \
+                or dir_offset != sums_offset + 4 * n_pages:
+            raise SegmentError("header offsets are inconsistent")
+        if len(mm) != dir_offset + dir_nbytes:
+            raise SegmentError(
+                f"file is {len(mm)} bytes, layout says "
+                f"{dir_offset + dir_nbytes}")
+        sums = mm[sums_offset:sums_offset + 4 * n_pages]
+        if zlib.crc32(sums) != sums_crc:
+            raise SegmentError("checksum-table crc mismatch")
+        raw_dir = mm[dir_offset:dir_offset + dir_nbytes]
+        if zlib.crc32(raw_dir) != dir_crc:
+            raise SegmentError("directory crc mismatch")
+        try:
+            records = json.loads(raw_dir.decode("utf-8"))["regions"]
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            raise SegmentError(f"unparseable directory: {exc}") from exc
+
+        regions: dict[str, Region] = {}
+        next_page = 0
+        for record in records:
+            try:
+                region = Region(
+                    name=str(record["name"]), kind=str(record["kind"]),
+                    offset=int(record["offset"]),
+                    nbytes=int(record["nbytes"]),
+                    pages=(int(record["pages"][0]), int(record["pages"][1])),
+                    dtype=record.get("dtype"),
+                    shape=(tuple(int(s) for s in record["shape"])
+                           if "shape" in record else None),
+                )
+            except (KeyError, TypeError, ValueError, IndexError) as exc:
+                raise SegmentError(f"malformed region record: {exc}") from exc
+            first, count = region.pages
+            if first != next_page or count < 1 \
+                    or region.offset != page_size * (1 + first) \
+                    or region.nbytes > count * page_size \
+                    or region.nbytes < 0:
+                raise SegmentError(f"region {region.name!r} does not "
+                                   f"tile the data pages")
+            if region.kind == _ARRAY_KIND:
+                if region.dtype is None or region.shape is None:
+                    raise SegmentError(
+                        f"array region {region.name!r} lacks dtype/shape")
+                try:
+                    dtype = np.dtype(region.dtype)
+                except TypeError as exc:
+                    raise SegmentError(
+                        f"region {region.name!r}: bad dtype") from exc
+                expected = int(np.prod(region.shape, dtype=np.int64)) \
+                    * dtype.itemsize
+                if expected != region.nbytes:
+                    raise SegmentError(
+                        f"region {region.name!r}: {region.nbytes} bytes "
+                        f"!= dtype*shape ({expected})")
+            elif region.kind != _JSON_KIND:
+                raise SegmentError(
+                    f"region {region.name!r}: unknown kind {region.kind!r}")
+            if region.name in regions:
+                raise SegmentError(f"duplicate region {region.name!r}")
+            regions[region.name] = region
+            next_page = first + count
+        if next_page != n_pages:
+            raise SegmentError(f"regions cover {next_page} pages, "
+                               f"header says {n_pages}")
+        return cls(path, mm, page_size, n_pages, regions, version)
+
+    # -- integrity ---------------------------------------------------------
+
+    def verify(self) -> list[int]:
+        """Data-page indexes whose crc32 does not match the table.
+
+        One sequential pass over the mapping; the pages it faults in
+        are shared page-cache pages, not private copies.
+        """
+        ps = self.page_size
+        sums_offset = ps * (1 + self.n_pages)
+        bad: list[int] = []
+        for index in range(self.n_pages):
+            start = ps * (1 + index)
+            (expected,) = struct.unpack_from("<I", self._mm,
+                                             sums_offset + 4 * index)
+            if zlib.crc32(self._mm[start:start + ps]) != expected:
+                bad.append(index)
+        return bad
+
+    def damaged_regions(self, bad_pages: list[int]) -> list[str]:
+        """Names of the regions owning any of ``bad_pages``, sorted."""
+        damaged = set()
+        for region in self.regions.values():
+            first, count = region.pages
+            if any(first <= page < first + count for page in bad_pages):
+                damaged.add(region.name)
+        return sorted(damaged)
+
+    # -- access ------------------------------------------------------------
+
+    def json_bytes(self, name: str) -> bytes:
+        region = self._region(name, _JSON_KIND)
+        return bytes(self._mm[region.offset:region.offset + region.nbytes])
+
+    def array(self, name: str) -> np.ndarray:
+        """A zero-copy read-only view of one array region."""
+        region = self._region(name, _ARRAY_KIND)
+        dtype = np.dtype(region.dtype)
+        count = int(np.prod(region.shape, dtype=np.int64))
+        if count == 0:
+            return np.empty(region.shape, dtype=dtype)
+        view = np.frombuffer(self._mm, dtype=dtype, count=count,
+                             offset=region.offset)
+        return view.reshape(region.shape)
+
+    def arrays_with_prefix(self, prefix: str) -> dict[str, np.ndarray]:
+        """``{name-without-prefix: view}`` for every array region under
+        ``prefix`` -- the mapping ``CityArrays.from_export`` consumes."""
+        return {
+            name[len(prefix):]: self.array(name)
+            for name, region in self.regions.items()
+            if region.kind == _ARRAY_KIND and name.startswith(prefix)
+        }
+
+    def _region(self, name: str, kind: str) -> Region:
+        region = self.regions.get(name)
+        if region is None or region.kind != kind:
+            raise SegmentError(f"no {kind} region named {name!r}")
+        return region
+
+    @property
+    def nbytes_file(self) -> int:
+        return len(self._mm)
+
+    def describe(self) -> dict:
+        """A JSON-ready structural summary (the CLI's ``inspect``)."""
+        return {
+            "path": str(self.path),
+            "format_version": self.format_version,
+            "page_size": self.page_size,
+            "data_pages": self.n_pages,
+            "file_bytes": self.nbytes_file,
+            "regions": [
+                {"name": r.name, "kind": r.kind, "nbytes": r.nbytes,
+                 "pages": list(r.pages),
+                 **({"dtype": r.dtype, "shape": list(r.shape)}
+                    if r.kind == _ARRAY_KIND else {})}
+                for r in sorted(self.regions.values(),
+                                key=lambda r: r.offset)
+            ],
+        }

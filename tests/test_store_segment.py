@@ -1,0 +1,411 @@
+"""Tests for the binary segment format (``repro.store.segment``), the
+salvage-what-passes repairer (``repro.store.repair``) and the lifecycle
+CLI (``python -m repro.store``).
+
+The format contract:
+
+1. **Round trip + zero copies.**  Arrays come back as read-only views
+   onto the mapping (no private bytes), JSON blobs byte-exactly.
+2. **Determinism.**  Equal inputs produce byte-equal files -- the
+   property behind race-free concurrent publication and byte-exact
+   repair.
+3. **Structure safety.**  Truncation, bad magic, header/table/directory
+   corruption all raise :class:`SegmentError` from ``open`` before any
+   data page is trusted.
+4. **Precise damage.**  ``verify`` names exactly the flipped page, and
+   the page names exactly one region -- which is what lets ``repair``
+   keep everything else.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.query import DEFAULT_QUERY
+from repro.profiles.generator import GroupGenerator
+from repro.service.registry import CityRegistry
+from repro.store import AssetStore, CityAssets, repair_entry, repair_store
+from repro.store.assets import _MANIFEST, _SEGMENT
+from repro.store.segment import (
+    DEFAULT_PAGE_SIZE,
+    MAGIC,
+    Segment,
+    SegmentError,
+    write_segment,
+)
+from repro.store.__main__ import main as store_cli
+
+FAST = dict(seed=5, scale=0.15, lda_iterations=5)
+
+#: A representative payload: two JSON blobs (meta-ish and dataset-ish)
+#: plus arrays spanning dtypes, shapes, multiple pages and the empty
+#: edge case.
+BLOBS = {
+    "meta": json.dumps({"k": 1}, sort_keys=True).encode(),
+    "dataset": (b'{"pois": [' + b"1," * 2000 + b"2]}"),
+}
+
+
+def _arrays():
+    rng = np.random.default_rng(7)
+    return {
+        "arrays/xy": rng.normal(size=(700, 2)),
+        "arrays/ids": np.arange(700, dtype=np.int64),
+        "index/counts": rng.integers(0, 50, size=(40, 17)).astype(np.int32),
+        "index/empty": np.empty((0, 4)),
+        "small": np.array([1.5]),
+    }
+
+
+@pytest.fixture()
+def segment_path(tmp_path):
+    path = tmp_path / "segment.bin"
+    write_segment(path, json_blobs=dict(BLOBS), arrays=_arrays())
+    return path
+
+
+@pytest.fixture(scope="module")
+def fast_fit():
+    registry = CityRegistry(**FAST)
+    return registry.entry("paris")
+
+
+@pytest.fixture()
+def saved(tmp_path, fast_fit):
+    """A store with one published paris entry; returns (store, entry)."""
+    store = AssetStore(tmp_path / "assets")
+    entry = store.save(CityAssets(fast_fit.dataset, fast_fit.item_index,
+                                  fast_fit.arrays), city="paris", **FAST)
+    return store, entry
+
+
+def _flip(path, offset):
+    blob = bytearray(path.read_bytes())
+    blob[offset] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+def _package_bytes(package) -> list:
+    return [
+        ([p.id for p in ci.pois], tuple(float.hex(c) for c in ci.centroid))
+        for ci in package.composite_items
+    ]
+
+
+class TestRoundTrip:
+    def test_json_and_arrays_round_trip(self, segment_path):
+        segment = Segment.open(segment_path)
+        for name, blob in BLOBS.items():
+            assert segment.json_bytes(name) == blob
+        for name, array in _arrays().items():
+            got = segment.array(name)
+            assert got.dtype == array.dtype and got.shape == array.shape
+            assert np.array_equal(got, array)
+
+    def test_arrays_are_read_only_zero_copy_views(self, segment_path):
+        segment = Segment.open(segment_path)
+        view = segment.array("arrays/xy")
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0, 0] = 9.0
+        # A view, not a copy: it borrows the mapping through its base.
+        assert view.base is not None
+        assert not view.flags.owndata
+
+    def test_views_outlive_the_segment_object(self, segment_path):
+        view = Segment.open(segment_path).array("arrays/xy")
+        expected = _arrays()["arrays/xy"]
+        assert np.array_equal(view, expected)  # mapping kept alive by base
+
+    def test_empty_array_region(self, segment_path):
+        got = Segment.open(segment_path).array("index/empty")
+        assert got.shape == (0, 4)
+
+    def test_arrays_with_prefix_strips_the_prefix(self, segment_path):
+        segment = Segment.open(segment_path)
+        sub = segment.arrays_with_prefix("arrays/")
+        assert set(sub) == {"xy", "ids"}
+        assert np.array_equal(sub["ids"], _arrays()["arrays/ids"])
+
+    def test_describe_is_json_ready(self, segment_path):
+        description = Segment.open(segment_path).describe()
+        json.dumps(description)
+        assert description["page_size"] == DEFAULT_PAGE_SIZE
+        assert [r["name"] for r in description["regions"]][:2] \
+            == ["meta", "dataset"]
+
+
+class TestDeterminismAndLayout:
+    def test_equal_inputs_produce_byte_equal_files(self, tmp_path):
+        a, b = tmp_path / "a.bin", tmp_path / "b.bin"
+        write_segment(a, json_blobs=dict(BLOBS), arrays=_arrays())
+        write_segment(b, json_blobs=dict(BLOBS), arrays=_arrays())
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_regions_are_page_aligned_and_tile(self, segment_path):
+        segment = Segment.open(segment_path)
+        regions = sorted(segment.regions.values(), key=lambda r: r.offset)
+        next_page = 0
+        for region in regions:
+            first, count = region.pages
+            assert region.offset % segment.page_size == 0
+            assert region.offset == segment.page_size * (1 + first)
+            assert first == next_page  # no page shared by two regions
+            assert region.nbytes <= count * segment.page_size
+            next_page = first + count
+        assert next_page == segment.n_pages
+
+    def test_object_dtype_is_rejected(self, tmp_path):
+        with pytest.raises(SegmentError, match="object dtypes"):
+            write_segment(tmp_path / "bad.bin", json_blobs={},
+                          arrays={"x": np.array([{"a": 1}], dtype=object)})
+
+    def test_non_contiguous_input_round_trips(self, tmp_path):
+        strided = np.arange(100, dtype=float).reshape(10, 10)[::2, ::3]
+        path = write_segment(tmp_path / "s.bin", json_blobs={},
+                             arrays={"x": strided})
+        assert np.array_equal(Segment.open(path).array("x"), strided)
+
+
+class TestStructureSafety:
+    def test_truncation_raises(self, segment_path):
+        blob = segment_path.read_bytes()
+        for cut in (0, 10, 63, len(blob) // 2, len(blob) - 1):
+            segment_path.write_bytes(blob[:cut])
+            with pytest.raises(SegmentError):
+                Segment.open(segment_path)
+
+    def test_appended_garbage_raises(self, segment_path):
+        segment_path.write_bytes(segment_path.read_bytes() + b"\x00")
+        with pytest.raises(SegmentError, match="bytes"):
+            Segment.open(segment_path)
+
+    def test_bad_magic_raises(self, segment_path):
+        _flip(segment_path, 0)
+        with pytest.raises(SegmentError, match="magic"):
+            Segment.open(segment_path)
+
+    def test_header_corruption_raises(self, segment_path):
+        _flip(segment_path, 20)  # inside the offsets, before the crc
+        with pytest.raises(SegmentError):
+            Segment.open(segment_path)
+
+    def test_version_skew_raises(self, segment_path):
+        with pytest.raises(SegmentError, match="version"):
+            Segment.open(segment_path, expect_version=99)
+
+    def test_checksum_table_corruption_raises(self, segment_path):
+        segment = Segment.open(segment_path)
+        sums_offset = segment.page_size * (1 + segment.n_pages)
+        _flip(segment_path, sums_offset + 2)
+        with pytest.raises(SegmentError, match="checksum-table"):
+            Segment.open(segment_path)
+
+    def test_directory_corruption_raises(self, segment_path):
+        _flip(segment_path, segment_path.stat().st_size - 3)
+        with pytest.raises(SegmentError, match="directory"):
+            Segment.open(segment_path)
+
+    def test_data_flip_raises_on_verified_open_only(self, segment_path):
+        segment = Segment.open(segment_path)
+        offset = segment.regions["arrays/xy"].offset
+        _flip(segment_path, offset + 5)
+        with pytest.raises(SegmentError, match="corrupt page"):
+            Segment.open(segment_path, verify_pages=True)
+        Segment.open(segment_path, verify_pages=False)  # structure intact
+
+
+class TestPreciseDamage:
+    def test_verify_names_exactly_the_flipped_page(self, segment_path):
+        segment = Segment.open(segment_path)
+        region = segment.regions["arrays/xy"]
+        hit_page = region.pages[0] + 1  # second page of a >1-page region
+        assert region.pages[1] > 1
+        _flip(segment_path, segment.page_size * (1 + hit_page) + 7)
+
+        reopened = Segment.open(segment_path, verify_pages=False)
+        assert reopened.verify() == [hit_page]
+        assert reopened.damaged_regions([hit_page]) == ["arrays/xy"]
+        # Every other region still reads clean.
+        for name, blob in BLOBS.items():
+            assert reopened.json_bytes(name) == blob
+        assert np.array_equal(reopened.array("arrays/ids"),
+                              _arrays()["arrays/ids"])
+
+    def test_two_flips_two_pages(self, segment_path):
+        segment = Segment.open(segment_path)
+        a = segment.regions["dataset"]
+        b = segment.regions["index/counts"]
+        _flip(segment_path, a.offset + 1)
+        _flip(segment_path, b.offset + 1)
+        reopened = Segment.open(segment_path, verify_pages=False)
+        bad = reopened.verify()
+        assert len(bad) == 2
+        assert reopened.damaged_regions(bad) == ["dataset", "index/counts"]
+
+
+class TestRepair:
+    def _segment(self, entry):
+        return Segment.open(entry / _SEGMENT, verify_pages=False)
+
+    def test_clean_entry_is_ok(self, saved):
+        store, entry = saved
+        report = repair_entry(store, entry.name)
+        assert report.status == "ok"
+        assert report.damaged_pages == 0 and report.refitted == ()
+
+    def test_arrays_damage_salvages_dataset_and_index(self, saved):
+        store, entry = saved
+        pristine = (entry / _SEGMENT).read_bytes()
+        region = next(r for r in self._segment(entry).regions.values()
+                      if r.name.startswith("arrays/") and r.nbytes >= 16)
+        _flip(entry / _SEGMENT, region.offset + 3)
+
+        dry = repair_entry(store, entry.name, dry_run=True)
+        assert dry.status == "repairable"
+        assert (entry / _SEGMENT).read_bytes() != pristine  # untouched
+
+        report = repair_entry(store, entry.name)
+        assert report.status == "repaired"
+        assert set(report.salvaged) == {"dataset", "index"}
+        assert report.refitted == ("arrays",)
+        assert (entry / _SEGMENT).read_bytes() == pristine
+        assert store.load("paris", **FAST) is not None
+        assert store.stats()["repairs"] == 1
+
+    def test_dataset_damage_regenerates_a_template_city(self, saved):
+        store, entry = saved
+        pristine = (entry / _SEGMENT).read_bytes()
+        region = self._segment(entry).regions["dataset"]
+        _flip(entry / _SEGMENT, region.offset + 3)
+        report = repair_entry(store, entry.name)
+        assert report.status == "repaired"
+        assert report.refitted == ("dataset",)
+        assert set(report.salvaged) == {"index", "arrays"}
+        assert (entry / _SEGMENT).read_bytes() == pristine
+
+    def test_dataset_damage_on_a_custom_city_is_unrecoverable(
+            self, tmp_path, fast_fit):
+        # The key says "nosuchcity": generate_city cannot rebuild it,
+        # and the dataset region is the only copy.
+        store = AssetStore(tmp_path / "assets")
+        entry = store.save(CityAssets(fast_fit.dataset, fast_fit.item_index,
+                                      fast_fit.arrays),
+                           city="nosuchcity", **FAST)
+        region = self._segment(entry).regions["dataset"]
+        _flip(entry / _SEGMENT, region.offset + 3)
+        report = repair_entry(store, entry.name)
+        assert report.status == "unrecoverable"
+        assert "dataset" in report.refitted
+
+    def test_destroyed_manifest_recovers_key_from_meta_echo(self, saved):
+        store, entry = saved
+        (entry / _MANIFEST).write_text("{not json")
+        assert store.load("paris", **FAST) is None
+        report = repair_entry(store, entry.name)
+        assert report.status == "repaired"
+        assert report.city == "paris"
+        assert store.load("paris", **FAST) is not None
+
+    def test_destroyed_segment_with_no_key_is_unrecoverable(self, saved):
+        store, entry = saved
+        (entry / _SEGMENT).write_bytes(b"garbage")
+        (entry / _MANIFEST).unlink()
+        report = repair_entry(store, entry.name)
+        assert report.status == "unrecoverable"
+
+    def test_repaired_entry_builds_identical_packages(self, saved, fast_fit):
+        store, entry = saved
+        region = next(r for r in self._segment(entry).regions.values()
+                      if r.name.startswith("index/") and r.nbytes >= 16)
+        _flip(entry / _SEGMENT, region.offset + 3)
+        assert repair_entry(store, entry.name).status == "repaired"
+        loaded = store.load("paris", **FAST)
+        from repro.core.kfc import KFCBuilder
+        profile = GroupGenerator(fast_fit.schema,
+                                 seed=3).uniform_group(4).profile()
+        hydrated = KFCBuilder(loaded.dataset, loaded.item_index,
+                              seed=FAST["seed"], arrays=loaded.arrays)
+        assert _package_bytes(hydrated.build(profile, DEFAULT_QUERY)) \
+            == _package_bytes(fast_fit.builder.build(profile, DEFAULT_QUERY))
+
+    def test_repair_store_walks_every_entry(self, saved, fast_fit):
+        store, entry = saved
+        store.save(CityAssets(fast_fit.dataset, fast_fit.item_index,
+                              fast_fit.arrays), city="rome", **FAST)
+        reports = repair_store(store)
+        assert len(reports) == 2
+        assert all(r.status == "ok" for r in reports)
+        assert json.dumps([r.to_dict() for r in reports])  # JSON-ready
+
+
+class TestCLI:
+    def _run(self, capsys, *argv):
+        code = store_cli(list(argv))
+        return code, capsys.readouterr().out
+
+    def test_ls_and_inspect(self, saved, capsys):
+        store, entry = saved
+        code, out = self._run(capsys, "--root", str(store.root), "ls")
+        assert code == 0 and entry.name in out and "ok" in out
+
+        code, out = self._run(capsys, "--root", str(store.root), "--json",
+                              "inspect", entry.name)
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["damaged_pages"] == []
+        assert payload["segment"]["format_version"] == 2
+
+    def test_verify_clean_and_damaged(self, saved, capsys):
+        store, entry = saved
+        code, out = self._run(capsys, "--root", str(store.root), "verify")
+        assert code == 0 and "all valid" in out
+        code, _ = self._run(capsys, "--root", str(store.root), "verify",
+                            "--deep")
+        assert code == 0
+
+        segment = Segment.open(entry / _SEGMENT, verify_pages=False)
+        region = next(r for r in segment.regions.values()
+                      if r.name.startswith("arrays/") and r.nbytes >= 16)
+        _flip(entry / _SEGMENT, region.offset + 3)
+        code, out = self._run(capsys, "--root", str(store.root), "verify")
+        assert code == 1 and "FAIL" in out and "corrupt page" in out
+
+    def test_repair_round_trips_through_the_cli(self, saved, capsys):
+        store, entry = saved
+        pristine = (entry / _SEGMENT).read_bytes()
+        segment = Segment.open(entry / _SEGMENT, verify_pages=False)
+        region = next(r for r in segment.regions.values()
+                      if r.name.startswith("arrays/") and r.nbytes >= 16)
+        _flip(entry / _SEGMENT, region.offset + 3)
+
+        code, out = self._run(capsys, "--root", str(store.root), "--json",
+                              "repair", "--dry-run")
+        assert code == 0
+        assert json.loads(out)[0]["status"] == "repairable"
+
+        code, out = self._run(capsys, "--root", str(store.root), "repair")
+        assert code == 0 and "repaired" in out
+        assert (entry / _SEGMENT).read_bytes() == pristine
+
+    def test_prune_dry_run_reports_without_removing(self, saved, capsys):
+        store, entry = saved
+        stale = store.root / "old-seed1-scale0.5-lda5-cafe0000-v1"
+        stale.mkdir()
+        code, out = self._run(capsys, "--root", str(store.root), "--json",
+                              "prune", "--dry-run")
+        assert code == 0
+        report = json.loads(out)
+        assert report["stale_version"] == [stale.name] and stale.exists()
+        assert report["kept"] == 1
+
+    def test_missing_root_and_entry_exit_2(self, tmp_path, saved, capsys):
+        store, _ = saved
+        assert store_cli(["--root", str(tmp_path / "nope"), "ls"]) == 2
+        code, _ = self._run(capsys, "--root", str(store.root),
+                            "inspect", "no-such-entry")
+        assert code == 2
