@@ -11,6 +11,12 @@ through the precomputed-array path against the object-path reference
 (``use_arrays=False``) on the same city/profile/query, report p50/p95
 for both, verify the packages are byte-identical, and **gate** the
 ratio at >= MIN_SPEEDUP (3x).
+
+``test_assembly_batch_speedup_gate`` does the same for the batched
+assembly kernel: one ``assemble_composite_items`` call over all k
+centroids against k per-centroid calls on the same arrays bundle,
+byte-identity checked, gated at >= MIN_BATCH_SPEEDUP (2x), with the
+grid-pruning effectiveness counters recorded alongside.
 """
 
 import argparse
@@ -27,6 +33,11 @@ from repro.core.query import DEFAULT_QUERY
 #: The cold-build gate: the array path must beat the object path by at
 #: least this factor on the bench workload.
 MIN_SPEEDUP = 3.0
+
+#: The batched-kernel gate: one ``assemble_composite_items`` call over
+#: all k centroids must beat k per-centroid ``assemble_composite_item``
+#: calls (the former arrays path) by at least this factor.
+MIN_BATCH_SPEEDUP = 2.0
 
 
 def _build_times(builder, profile, repeats: int) -> np.ndarray:
@@ -71,6 +82,73 @@ def compare_cold_build(dataset, item_index, profile,
     return report
 
 
+def compare_assembly_batch(dataset, item_index, profile,
+                           repeats: int = 15) -> dict:
+    """Time the batched assembly kernel against the per-centroid loop.
+
+    Both paths run on the same :class:`CityArrays` bundle, the same
+    FCM centroids and the same profile, so the ratio isolates exactly
+    what the batch kernel amortizes: one profile mat-vec and one
+    stacked distance pass per category instead of k of each.  Pruning
+    is disabled on the loop side (the reference semantics) and left on
+    auto for the batch side (the serving configuration); a forced-prune
+    pass afterwards reports grid effectiveness counters.  The composite
+    items are verified identical before anything is timed.
+    """
+    from repro.clustering.fuzzy_cmeans import FuzzyCMeans
+    from repro.core.arrays import CityArrays
+    from repro.core.assembly import (assemble_composite_item,
+                                     assemble_composite_items,
+                                     collect_assembly_counters)
+
+    arrays = CityArrays.of(dataset, item_index)
+    cents = FuzzyCMeans(n_clusters=5, seed=3).fit(
+        dataset.coordinates()).centroids
+
+    def loop():
+        return [assemble_composite_item(
+                    dataset, (float(lat), float(lon)), DEFAULT_QUERY,
+                    profile, item_index, arrays=arrays, prune=False)
+                for lat, lon in cents]
+
+    def batch(prune=None):
+        return assemble_composite_items(dataset, cents, DEFAULT_QUERY,
+                                        profile, item_index, arrays=arrays,
+                                        prune=prune)
+
+    def cis_key(cis):
+        return [([p.id for p in ci.pois], ci.centroid) for ci in cis]
+
+    identical = (cis_key(loop()) == cis_key(batch())
+                 == cis_key(batch(prune=True)))
+
+    def times(fn):
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+        return np.array(samples)
+
+    t_loop = times(loop)
+    t_batch = times(batch)
+    with collect_assembly_counters() as scans:
+        batch(prune=True)
+    report = {
+        "n_pois": len(dataset),
+        "k_centroids": int(cents.shape[0]),
+        "identical": identical,
+        "loop_p50_ms": float(np.percentile(t_loop, 50) * 1e3),
+        "batch_p50_ms": float(np.percentile(t_batch, 50) * 1e3),
+        "pruned_rows_scored": scans.rows_scored,
+        "pruned_rows_total": scans.rows_total,
+        "pruned_cells_pruned": scans.cells_pruned,
+        "pruned_cells_total": scans.cells_total,
+    }
+    report["speedup"] = report["loop_p50_ms"] / report["batch_p50_ms"]
+    return report
+
+
 def _print_report(report: dict) -> None:
     print(f"cold build over {report['n_pois']} POIs "
           f"({'byte-identical' if report['identical'] else 'MISMATCH'}):")
@@ -79,6 +157,23 @@ def _print_report(report: dict) -> None:
     print(f"  object path  p50 {report['object_p50_ms']:8.2f} ms   "
           f"p95 {report['object_p95_ms']:8.2f} ms")
     print(f"  speedup {report['speedup']:.2f}x (gate >= {MIN_SPEEDUP:.1f}x)")
+
+
+def _print_batch_report(report: dict) -> None:
+    scanned = report["pruned_rows_scored"]
+    total = report["pruned_rows_total"]
+    skipped = 100.0 * (1.0 - scanned / total) if total else 0.0
+    print(f"batched assembly over {report['n_pois']} POIs x "
+          f"{report['k_centroids']} centroids "
+          f"({'byte-identical' if report['identical'] else 'MISMATCH'}):")
+    print(f"  per-centroid loop  p50 {report['loop_p50_ms']:8.2f} ms")
+    print(f"  batched kernel     p50 {report['batch_p50_ms']:8.2f} ms")
+    print(f"  speedup {report['speedup']:.2f}x "
+          f"(gate >= {MIN_BATCH_SPEEDUP:.1f}x)")
+    print(f"  forced-prune scan: {scanned}/{total} rows scored "
+          f"({skipped:.0f}% skipped), "
+          f"{report['pruned_cells_pruned']}/{report['pruned_cells_total']} "
+          f"cells pruned")
 
 
 # -- pytest-benchmark timings -------------------------------------------------
@@ -151,6 +246,19 @@ if pytest is not None:
             f"{MIN_SPEEDUP:.1f}x gate"
         )
 
+    def test_assembly_batch_speedup_gate(paris_app, group_profile):
+        """The batched kernel must beat the per-centroid loop >= 2x."""
+        report = compare_assembly_batch(paris_app.dataset,
+                                        paris_app.item_index, group_profile)
+        _print_batch_report(report)
+        telemetry.emit("core", telemetry.record("assembly_batch_vs_loop",
+                                                **report))
+        assert report["identical"], "batched and loop assembly diverged"
+        assert report["speedup"] >= MIN_BATCH_SPEEDUP, (
+            f"batched-assembly speedup {report['speedup']:.2f}x is below "
+            f"the {MIN_BATCH_SPEEDUP:.1f}x gate"
+        )
+
 
 # -- standalone gate (CI bench-smoke) -----------------------------------------
 
@@ -168,6 +276,8 @@ def main(argv=None) -> int:
     parser.add_argument("--lda-iterations", type=int, default=60)
     parser.add_argument("--repeats", type=int, default=15)
     parser.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP)
+    parser.add_argument("--min-batch-speedup", type=float,
+                        default=MIN_BATCH_SPEEDUP)
     args = parser.parse_args(argv)
 
     dataset = generate_city(args.city, seed=2019, scale=args.scale)
@@ -181,12 +291,24 @@ def main(argv=None) -> int:
     _print_report(report)
     telemetry.emit("core", telemetry.record("cold_build_speedup_cli",
                                             scale=args.scale, **report))
+    batch_report = compare_assembly_batch(dataset, item_index, profile,
+                                          repeats=args.repeats)
+    _print_batch_report(batch_report)
+    telemetry.emit("core", telemetry.record("assembly_batch_vs_loop_cli",
+                                            scale=args.scale, **batch_report))
     if not report["identical"]:
         print("FAIL: array and object paths diverged", file=sys.stderr)
         return 1
     if report["speedup"] < args.min_speedup:
         print(f"FAIL: speedup below the {args.min_speedup:.1f}x gate",
               file=sys.stderr)
+        return 1
+    if not batch_report["identical"]:
+        print("FAIL: batched and loop assembly diverged", file=sys.stderr)
+        return 1
+    if batch_report["speedup"] < args.min_batch_speedup:
+        print(f"FAIL: batched-assembly speedup below the "
+              f"{args.min_batch_speedup:.1f}x gate", file=sys.stderr)
         return 1
     return 0
 

@@ -27,7 +27,11 @@ Contents, all row-aligned with the dataset's iteration order:
   item-vector matrix, precomputed row norms and the cost-sorted
   candidate order the budget-repair phase needs;
 * ``cell_buckets`` -- :class:`~repro.geo.grid.SpatialGrid`-derived
-  candidate buckets (grid cell -> row indices) for spatial prefilters.
+  candidate buckets (grid cell -> row indices) for spatial prefilters;
+* per-category **cell CSR layout** (``cell_cells`` / ``cell_start`` /
+  ``cell_rows`` / ``cell_bounds``) -- the same grid restricted to one
+  category's rows plus per-cell coordinate bounding boxes, which the
+  batched assembly kernel's provably-safe grid pruning reads.
 """
 
 from __future__ import annotations
@@ -103,6 +107,18 @@ class CategoryArrays:
         vector_norms: ``(n,)`` precomputed row norms of ``vectors``.
         cost_order: ``(n,)`` row order sorted by ``(cost, id)`` -- the
             cheapest-first candidate order the budget paths use.
+        cell_cells: ``(m, 2)`` distinct grid cells occupied by this
+            category's rows, lexicographically sorted -- the same cell
+            geometry as ``CityArrays.cell_buckets``, restricted to one
+            category.
+        cell_start: ``(m + 1,)`` CSR offsets into ``cell_rows``: cell
+            ``j`` holds ``cell_rows[cell_start[j]:cell_start[j + 1]]``.
+        cell_rows: ``(n,)`` category-row indices grouped by cell (rows
+            ascending within each cell).
+        cell_bounds: ``(m, 4)`` per-cell ``(lat_lo, lat_hi, lon_lo,
+            lon_hi)`` bounding boxes of the *actual rows* in the cell
+            -- what the assembly pruner's distance lower bounds are
+            computed from.
     """
 
     category: Category
@@ -114,9 +130,18 @@ class CategoryArrays:
     vectors: np.ndarray
     vector_norms: np.ndarray
     cost_order: np.ndarray
+    cell_cells: np.ndarray
+    cell_start: np.ndarray
+    cell_rows: np.ndarray
+    cell_bounds: np.ndarray
 
     def __len__(self) -> int:
         return int(self.ids.shape[0])
+
+    @property
+    def n_cells(self) -> int:
+        """How many grid cells this category's rows occupy."""
+        return int(self.cell_cells.shape[0])
 
 
 @dataclass(frozen=True)
@@ -185,6 +210,9 @@ class CityArrays:
             cat_lats = np.array([p.lat for p in cat_pois], dtype=float)
             cat_lons = np.array([p.lon for p in cat_pois], dtype=float)
             cat_costs = np.array([p.cost for p in cat_pois], dtype=float)
+            cell_cells, cell_start, cell_rows, cell_bounds = _category_cells(
+                cat_lats, cat_lons, _CELL_KM
+            )
             categories[cat] = CategoryArrays(
                 category=cat,
                 ids=cat_ids,
@@ -195,6 +223,10 @@ class CityArrays:
                 vectors=vectors,
                 vector_norms=np.linalg.norm(vectors, axis=1),
                 cost_order=np.lexsort((cat_ids, cat_costs)),
+                cell_cells=cell_cells,
+                cell_start=cell_start,
+                cell_rows=cell_rows,
+                cell_bounds=cell_bounds,
             )
 
         return cls(
@@ -235,7 +267,8 @@ class CityArrays:
 
     #: Per-category array fields, in the order they are exported.
     _CATEGORY_FIELDS = ("ids", "rows", "lats", "lons", "costs", "vectors",
-                        "vector_norms", "cost_order")
+                        "vector_norms", "cost_order", "cell_cells",
+                        "cell_start", "cell_rows", "cell_bounds")
 
     def export_arrays(self) -> dict[str, np.ndarray]:
         """Every array of the bundle under a flat string key -- the
@@ -390,6 +423,47 @@ def _cell_buckets(lats: np.ndarray, lons: np.ndarray,
         buckets.setdefault((int(r), int(c)), []).append(row)
     return {cell: np.array(rows, dtype=np.int64)
             for cell, rows in buckets.items()}
+
+
+def _category_cells(lats: np.ndarray, lons: np.ndarray, cell_km: float
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One category's rows grouped by SpatialGrid cell, in CSR layout.
+
+    Returns ``(cell_cells, cell_start, cell_rows, cell_bounds)`` as
+    documented on :class:`CategoryArrays`.  Uses the exact cell formula
+    of :func:`_cell_buckets` (per-row latitude for the east-west cell
+    size), so a category cell is the city bucket restricted to that
+    category's rows.  Cells are lexicographically sorted and rows stay
+    ascending within a cell, making the layout deterministic.
+    """
+    n = lats.shape[0]
+    if n == 0:
+        return (np.empty((0, 2), dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty((0, 4), dtype=float))
+    cell_r = np.floor(lats * _KM_PER_DEG_LAT / cell_km).astype(np.int64)
+    km_per_deg_lon = _KM_PER_DEG_LAT * np.maximum(
+        np.cos(np.radians(lats)), 1e-9
+    )
+    cell_c = np.floor(lons * km_per_deg_lon / cell_km).astype(np.int64)
+    # lexsort is stable, so rows stay ascending inside each cell.
+    order = np.lexsort((cell_c, cell_r)).astype(np.int64)
+    sr, sc = cell_r[order], cell_c[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (sr[1:] != sr[:-1]) | (sc[1:] != sc[:-1])
+    starts = np.flatnonzero(boundary)
+    cell_cells = np.column_stack([sr[starts], sc[starts]])
+    cell_start = np.append(starts, n).astype(np.int64)
+    slat, slon = lats[order], lons[order]
+    cell_bounds = np.column_stack([
+        np.minimum.reduceat(slat, starts),
+        np.maximum.reduceat(slat, starts),
+        np.minimum.reduceat(slon, starts),
+        np.maximum.reduceat(slon, starts),
+    ])
+    return cell_cells, cell_start, order, cell_bounds
 
 
 #: Process-wide bundle pool: item_index -> dataset -> CityArrays, all

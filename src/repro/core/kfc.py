@@ -47,7 +47,10 @@ from repro.core.arrays import (
     project_points,
     unproject_points,
 )
-from repro.core.assembly import assemble_composite_item
+from repro.core.assembly import (
+    assemble_composite_item,
+    assemble_composite_items,
+)
 from repro.core.composite import CompositeItem
 from repro.core.objective import ObjectiveWeights, fuzzy_memberships
 from repro.core.package import TravelPackage
@@ -77,6 +80,16 @@ class KFCBuilder:
             score POI objects per call -- the seed behaviour, kept as
             the reference implementation for equivalence tests and the
             cold-build speedup benchmark.
+        batch_assembly: When ``True`` (default) each assembly round
+            runs the batched kernel
+            (:func:`~repro.core.assembly.assemble_composite_items`):
+            one profile mat-vec and one broadcast distance pass per
+            category for all ``k`` centroids -- including every refine
+            round.  ``False`` keeps the per-centroid loop, the
+            reference the ``assembly_batch_vs_loop`` benchmark gate
+            compares against.  Results are bit-identical either way.
+        prune: Grid-pruning knob forwarded to assembly (``None`` =
+            auto by category size; purely a performance choice).
     """
 
     def __init__(self, dataset: POIDataset, item_index: ItemVectorIndex,
@@ -84,7 +97,9 @@ class KFCBuilder:
                  k: int = 5, seed: int = 0, candidate_pool: int = 60,
                  refine_iterations: int = 2,
                  arrays: CityArrays | None = None,
-                 use_arrays: bool = True) -> None:
+                 use_arrays: bool = True,
+                 batch_assembly: bool = True,
+                 prune: bool | None = None) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
         if refine_iterations < 0:
@@ -96,6 +111,8 @@ class KFCBuilder:
         self.seed = seed
         self.candidate_pool = candidate_pool
         self.refine_iterations = refine_iterations
+        self.batch_assembly = batch_assembly
+        self.prune = prune
         if arrays is None and use_arrays:
             arrays = CityArrays.of(dataset, item_index)
         self.arrays = arrays
@@ -143,12 +160,28 @@ class KFCBuilder:
     def _assemble_all(self, centroids: np.ndarray, query: GroupQuery,
                       profile: GroupProfile,
                       weights: ObjectiveWeights) -> list[CompositeItem]:
-        """Step 2: one valid CI per centroid."""
+        """Step 2: one valid CI per centroid.
+
+        The batched kernel amortizes each category's profile mat-vec
+        and distance pass across all ``k`` centroids at once; since
+        every refine round re-enters here, the refine loop is
+        vectorized on the same kernel.  The per-centroid loop below it
+        is the reference path (bit-identical output) kept for the
+        ``assembly_batch_vs_loop`` benchmark gate.
+        """
+        if self.batch_assembly:
+            return assemble_composite_items(
+                self.dataset, centroids, query, profile, self.item_index,
+                beta=weights.beta, gamma=weights.gamma,
+                candidate_pool=self.candidate_pool, arrays=self.arrays,
+                prune=self.prune,
+            )
         return [
             assemble_composite_item(
                 self.dataset, (float(lat), float(lon)), query, profile,
                 self.item_index, beta=weights.beta, gamma=weights.gamma,
                 candidate_pool=self.candidate_pool, arrays=self.arrays,
+                prune=self.prune,
             )
             for lat, lon in centroids
         ]

@@ -158,11 +158,20 @@ def evaluate_objective(dataset: POIDataset, package: TravelPackage,
     ci_term = 0.0
     for j, ci in enumerate(package.composite_items):
         mu_lat, mu_lon = ci.centroid
-        for poi in ci.pois:
-            d = float(equirectangular_km(poi.lat, poi.lon, mu_lat, mu_lon))
-            if largest > 0:
-                d /= largest
-            ci_term += weights.beta * (1.0 - min(d, 1.0))
+        if not ci.pois:
+            continue
+        # One vectorized distance pass per CI; the elementwise ops match
+        # the former per-POI scalar calls bit for bit, and the scalar
+        # accumulation below keeps the exact summation order.
+        dists = equirectangular_km(
+            np.array([p.lat for p in ci.pois], dtype=float),
+            np.array([p.lon for p in ci.pois], dtype=float),
+            mu_lat, mu_lon,
+        )
+        if largest > 0:
+            dists = dists / largest
+        for poi, d in zip(ci.pois, dists):
+            ci_term += weights.beta * (1.0 - min(float(d), 1.0))
             ci_term += weights.gamma * cosine(
                 item_index.vector(poi), profile.vector(poi.cat)
             )

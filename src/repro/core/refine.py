@@ -35,10 +35,15 @@ from repro.profiles.vectors import ItemVectorIndex
 
 def _mean_item_vector(pois: list[POI], item_index: ItemVectorIndex,
                       size: int) -> np.ndarray:
-    """Mean item vector of a POI list; zeros when the list is empty."""
+    """Mean item vector of a POI list; zeros when the list is empty.
+
+    One stacked ``(m, d)`` gather instead of ``m`` per-POI lookups;
+    ``np.mean`` reduces the same matrix either way, so the result is
+    bit-identical to averaging the individual vectors.
+    """
     if not pois:
         return np.zeros(size)
-    return np.mean([item_index.vector(p) for p in pois], axis=0)
+    return np.mean(item_index.matrix(pois), axis=0)
 
 
 def _delta_for_category(cat: Category, added: list[POI], removed: list[POI],

@@ -31,6 +31,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from threading import Lock
 
+from repro.core.assembly import AssemblyCounters, collect_assembly_counters
 from repro.core.customize import CustomizationSession, Interaction
 from repro.core.package import TravelPackage
 from repro.core.query import DEFAULT_QUERY, GroupQuery
@@ -146,6 +147,10 @@ class PackageService:
         self._sessions: dict[str, _Session] = {}
         self._sessions_lock = Lock()
         self._session_ids = itertools.count(1)
+        # Cumulative assembly-scan work (grid-pruning effectiveness);
+        # windowed rates live in self.metrics.windows alongside it.
+        self._assembly_totals = AssemblyCounters()
+        self._assembly_lock = Lock()
 
     # -- building ----------------------------------------------------------
 
@@ -201,11 +206,13 @@ class PackageService:
             hit = self.cache.get(key)
             cached = hit is not None
             if hit is None:
-                with stage("assemble", city=entry.name):
+                with stage("assemble", city=entry.name), \
+                        collect_assembly_counters() as scans:
                     package = entry.builder.build(
                         profile, request.query, k=request.k,
                         seed=request.seed, weights=request.weights,
                     )
+                self._record_assembly(scans)
                 with stage("package_metrics", city=entry.name):
                     package_metrics = self._package_metrics(entry, package,
                                                             profile)
@@ -351,9 +358,10 @@ class PackageService:
                                         session_id=request.session_id)
         entry = session.entry
         try:
-            with session.lock:
+            with session.lock, collect_assembly_counters() as scans:
                 self._dispatch(session, request)
                 package = session.editor.package
+            self._record_assembly(scans)
         except (KeyError, ValueError, StopIteration, IndexError) as exc:
             return self._error_response(entry.name, exc, start,
                                         request_id=request.request_id,
@@ -592,6 +600,31 @@ class PackageService:
 
     # -- observability -------------------------------------------------------
 
+    def _record_assembly(self, scans: AssemblyCounters) -> None:
+        """Publish one build/customize call's assembly-scan counters:
+        windowed rates (``assembly.rows_scored`` /
+        ``assembly.cells_pruned``) for dashboards and SLO horizons,
+        cumulative totals for :meth:`stats` -- pruning effectiveness is
+        observable in production, not just in the bench."""
+        if not (scans.pruned_scans or scans.full_scans):
+            return  # cache hit or object-path build: no array scans ran
+        windows = self.metrics.windows
+        windows.counter_inc("assembly.rows_scored", scans.rows_scored)
+        windows.counter_inc("assembly.cells_pruned", scans.cells_pruned)
+        with self._assembly_lock:
+            totals = self._assembly_totals
+            totals.rows_scored += scans.rows_scored
+            totals.rows_total += scans.rows_total
+            totals.cells_pruned += scans.cells_pruned
+            totals.cells_total += scans.cells_total
+            totals.pruned_scans += scans.pruned_scans
+            totals.full_scans += scans.full_scans
+
+    def assembly_stats(self) -> dict:
+        """Cumulative assembly-scan counters (JSON-ready copy)."""
+        with self._assembly_lock:
+            return self._assembly_totals.to_dict()
+
     def _sample_gauges(self) -> None:
         """Refresh the service-level gauges (pull-driven: a stats or
         health poll is the sampling clock -- no background thread)."""
@@ -614,6 +647,7 @@ class PackageService:
             "open_sessions": self.open_sessions,
             "cache": self.cache.stats(),
             "registry": self.registry.stats(),
+            "assembly": self.assembly_stats(),
             "metrics": self.metrics.snapshot(),
             "obs": self.tracer.snapshot(),
         }

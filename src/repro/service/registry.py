@@ -23,9 +23,11 @@ Two optional knobs bound the cost of that materialization:
   cities are **loaded from disk before fitting** (and written back on a
   miss, still under the per-city lock), so a restarted server or a
   freshly-forked shard worker hydrates in milliseconds instead of
-  paying LDA again.  Explicitly registered datasets bypass the store:
-  their content is client-controlled and not derivable from the store's
-  ``(city, seed, scale, lda_iterations)`` key.
+  paying LDA again.  Explicitly registered datasets persist too: their
+  content is client-controlled, so their store key carries a **dataset
+  content hash** (:func:`~repro.store.dataset_content_hash`) instead of
+  relying on the generation parameters -- re-registering the same bytes
+  after a restart hydrates the fitted index from disk.
 * ``max_cities`` -- LRU residency bound.  Cities registered over the
   wire are client-controlled server state; beyond the bound the
   least-recently-used entry is evicted (cheap to bring back when a
@@ -53,7 +55,7 @@ from repro.profiles.group import GroupProfile
 from repro.profiles.schema import ProfileSchema
 from repro.profiles.vectors import ItemVectorIndex
 from repro.service.schema import GroupSpec
-from repro.store import AssetStore, CityAssets
+from repro.store import AssetStore, CityAssets, dataset_content_hash
 
 
 @dataclass(frozen=True)
@@ -178,16 +180,30 @@ class CityRegistry:
         benchmarks use this to serve cities a test harness already
         built.  A failed registration (e.g. LDA cannot fit an empty
         dataset) leaves no trace: the name stays unregistered and can
-        be retried or registered with a valid dataset later.  Registered
-        datasets are never written to the asset store -- their content
-        is not derivable from the store's key.
+        be retried or registered with a valid dataset later.
+
+        With a store attached (and no caller-supplied index), the fit
+        is keyed on a **content hash** of the dataset: a registration
+        whose exact bytes were fitted before -- typically by a previous
+        process life -- hydrates from disk, and a fresh fit is written
+        back under the hash key for the next restart.
         """
         city = (name or dataset.city).lower()
         if not city:
             raise ValueError("a registered dataset needs a city name")
         try:
             with self._lock_for(city):
-                entry = self._make_entry(city, dataset, item_index)
+                entry = None
+                dataset_hash = None
+                if (item_index is None and self.store is not None
+                        and len(dataset) > 0):
+                    dataset_hash = dataset_content_hash(dataset)
+                    entry = self._store_load(city, dataset_hash=dataset_hash)
+                if entry is None:
+                    entry = self._make_entry(city, dataset, item_index)
+                    if dataset_hash is not None:
+                        self._store_save(city, entry,
+                                         dataset_hash=dataset_hash)
                 self._install(city, entry)
                 return entry
         except BaseException:
@@ -229,8 +245,10 @@ class CityRegistry:
 
     # -- the persistent store ----------------------------------------------
 
-    def _store_load(self, city: str) -> CityEntry | None:
-        """A store-hydrated entry for a template city, or ``None``.
+    def _store_load(self, city: str,
+                    dataset_hash: str | None = None) -> CityEntry | None:
+        """A store-hydrated entry, or ``None``.  ``dataset_hash`` keys
+        wire-registered cities; template cities pass ``None``.
 
         Called under the city's lock.  A hit skips city generation, LDA
         and the array precompute entirely; the builder (cheap -- its
@@ -246,7 +264,8 @@ class CityRegistry:
             return None
         with stage("store_hydrate", city=city):
             assets = self.store.load(city, seed=self.seed, scale=self.scale,
-                                     lda_iterations=self.lda_iterations)
+                                     lda_iterations=self.lda_iterations,
+                                     dataset_hash=dataset_hash)
         if assets is None:
             self._count("store_misses")
             return None
@@ -254,9 +273,10 @@ class CityRegistry:
         return self._assemble_entry(city, assets.dataset, assets.item_index,
                                     assets.arrays)
 
-    def _store_save(self, city: str, entry: CityEntry) -> None:
-        """Write a freshly-fitted template entry back (best-effort:
-        a full disk must not fail the request that paid the fit)."""
+    def _store_save(self, city: str, entry: CityEntry,
+                    dataset_hash: str | None = None) -> None:
+        """Write a freshly-fitted entry back (best-effort: a full disk
+        must not fail the request that paid the fit)."""
         if self.store is None:
             return
         try:
@@ -267,6 +287,7 @@ class CityRegistry:
                                arrays=entry.arrays),
                     city=city, seed=self.seed, scale=self.scale,
                     lda_iterations=self.lda_iterations,
+                    dataset_hash=dataset_hash,
                 )
         except OSError:
             pass

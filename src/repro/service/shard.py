@@ -603,6 +603,12 @@ class ShardCluster:
                     if name in store else value
         if store:
             registry["store"] = store
+        # Assembly scan counters (grid-pruning effectiveness) are plain
+        # event totals: the cluster figure is the sum over workers.
+        assembly: dict[str, int] = {}
+        for result in results:
+            for name, value in (result.get("assembly") or {}).items():
+                assembly[name] = assembly.get(name, 0) + value
         return {
             "shards": results,
             "placement": self.placement,
@@ -611,6 +617,7 @@ class ShardCluster:
             "restarted": sum(s.restarted for s in self._shards),
             "cache": cache,
             "registry": registry,
+            "assembly": assembly,
             "metrics": merge_snapshots([r["metrics"] for r in results]),
             "obs": Tracer.merge_obs([r.get("obs") for r in results]),
         }

@@ -18,6 +18,7 @@ from repro.store.assets import (
     AssetStore,
     CityAssets,
     StoreKey,
+    dataset_content_hash,
 )
 from repro.store.repair import RepairReport, repair_entry, repair_store
 from repro.store.segment import Segment, SegmentError, write_segment
@@ -30,6 +31,7 @@ __all__ = [
     "Segment",
     "SegmentError",
     "StoreKey",
+    "dataset_content_hash",
     "repair_entry",
     "repair_store",
     "write_segment",

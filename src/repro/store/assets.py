@@ -4,16 +4,19 @@ Everything a city's serving entry needs that is query-independent --
 the POI dataset, the fitted :class:`~repro.profiles.vectors.ItemVectorIndex`
 (both LDA models) and the :class:`~repro.core.arrays.CityArrays`
 compute bundle -- is a pure function of ``(city, seed, scale,
-lda_iterations)``.  :class:`AssetStore` persists that function's value
-once and serves it forever: the same pay-at-registration move as OBDA's
-precomputed exact mappings, extended across process restarts.  A warm
-registry or shard worker hydrates a city from disk in milliseconds
-instead of refitting LDA for seconds.
+lda_iterations)`` for template cities, and of ``(dataset content,
+seed, lda_iterations)`` for wire-registered ones (the key carries a
+dataset content hash; LDA is deterministic in the dataset and seed).
+:class:`AssetStore` persists that function's value once and serves it
+forever: the same pay-at-registration move as OBDA's precomputed exact
+mappings, extended across process restarts.  A warm registry or shard
+worker hydrates a city from disk in milliseconds instead of refitting
+LDA for seconds.
 
 Layout (one directory per content key)::
 
     <root>/
-      paris-seed2019-scale0.35-lda50-c90ff4c1-v2/
+      paris-seed2019-scale0.35-lda50-c90ff4c1-v3/
         manifest.json   # format version, key, sha256 + size per file
         segment.bin     # page-structured binary segment (see below)
 
@@ -79,7 +82,10 @@ from repro.store.segment import Segment, SegmentError, write_segment
 #: treated as misses (never best-effort parsed) and pruned as stale.
 #: v2: the dataset.json + index.npz + arrays.npz payload became one
 #: page-structured ``segment.bin`` hydrated by mmap.
-FORMAT_VERSION = 2
+#: v3: keys carry an optional dataset content hash so wire-registered
+#: (non-template) cities can persist; ``CityArrays`` exports gained the
+#: per-category grid-cell CSR layout used by pruned assembly.
+FORMAT_VERSION = 3
 
 _MANIFEST = "manifest.json"
 _SEGMENT = "segment.bin"
@@ -107,15 +113,24 @@ _VERSION_SUFFIX = re.compile(r"-v(\d+)$")
 class StoreKey:
     """The content key one stored entry answers for.
 
-    City assets are deterministic in these four fields (plus the format
-    version), so the key doubles as the directory name and as the
-    equality check a loader performs before trusting an entry.
+    Template-city assets are deterministic in the four generation
+    fields (plus the format version), so the key doubles as the
+    directory name and as the equality check a loader performs before
+    trusting an entry.  Wire-registered cities carry arbitrary caller
+    data instead; their identity is ``dataset_hash`` -- a content hash
+    of the dataset JSON -- which makes the fitted artifacts a pure
+    function of the key again (LDA is deterministic in the dataset,
+    seed and iteration count).
     """
 
     city: str
     seed: int
     scale: float
     lda_iterations: int
+    #: Content hash of a non-template dataset (see
+    #: :func:`dataset_content_hash`); ``None`` for template cities,
+    #: whose datasets are regenerable from ``(city, seed, scale)``.
+    dataset_hash: str | None = None
 
     def dirname(self) -> str:
         # The slug is for humans; the hash is the identity.  Distinct
@@ -127,12 +142,15 @@ class StoreKey:
         digest = hashlib.sha256(
             json.dumps(self.to_dict(), sort_keys=True).encode("utf-8")
         ).hexdigest()[:8]
+        data_tag = f"-d{self.dataset_hash[:8]}" if self.dataset_hash else ""
         return (f"{slug}-seed{self.seed}-scale{self.scale!r}"
-                f"-lda{self.lda_iterations}-{digest}-v{FORMAT_VERSION}")
+                f"-lda{self.lda_iterations}{data_tag}-{digest}"
+                f"-v{FORMAT_VERSION}")
 
     def to_dict(self) -> dict:
         return {"city": self.city.lower(), "seed": self.seed,
                 "scale": self.scale, "lda_iterations": self.lda_iterations,
+                "dataset_hash": self.dataset_hash,
                 "format_version": FORMAT_VERSION}
 
 
@@ -143,6 +161,20 @@ class CityAssets:
     dataset: POIDataset
     item_index: ItemVectorIndex
     arrays: CityArrays
+
+
+def dataset_content_hash(dataset: POIDataset) -> str:
+    """The content identity of a non-template dataset.
+
+    A short, stable sha256 of the canonical JSON form -- the same bytes
+    the store persists, so a loaded entry's dataset re-hashes to its own
+    key.  16 hex chars (64 bits) keeps directory names readable while
+    making accidental collision across a store's handful of cities
+    astronomically unlikely.
+    """
+    return hashlib.sha256(
+        dataset.to_json().encode("utf-8")
+    ).hexdigest()[:16]
 
 
 def _sha256(path: Path) -> str:
@@ -249,17 +281,20 @@ class AssetStore:
     # -- keys --------------------------------------------------------------
 
     def key(self, city: str, *, seed: int, scale: float,
-            lda_iterations: int) -> StoreKey:
+            lda_iterations: int,
+            dataset_hash: str | None = None) -> StoreKey:
         return StoreKey(city=city.lower(), seed=int(seed),
                         scale=float(scale),
-                        lda_iterations=int(lda_iterations))
+                        lda_iterations=int(lda_iterations),
+                        dataset_hash=dataset_hash)
 
     def path(self, key: StoreKey) -> Path:
         """The directory a key publishes to."""
         return self.root / key.dirname()
 
     def contains(self, city: str, *, seed: int, scale: float,
-                 lda_iterations: int, verify_digests: bool = False) -> bool:
+                 lda_iterations: int, dataset_hash: str | None = None,
+                 verify_digests: bool = False) -> bool:
         """Whether an entry exists for the key.
 
         The default check is **manifest-only** (parse, key/version
@@ -269,7 +304,8 @@ class AssetStore:
         and the whole-file sha256, the full ``load``-grade guarantee.
         """
         key = self.key(city, seed=seed, scale=scale,
-                       lda_iterations=lda_iterations)
+                       lda_iterations=lda_iterations,
+                       dataset_hash=dataset_hash)
         entry = self.path(key)
         try:
             manifest = self._manifest(entry, key)
@@ -293,17 +329,20 @@ class AssetStore:
     # -- saving ------------------------------------------------------------
 
     def save(self, assets: CityAssets, *, city: str, seed: int, scale: float,
-             lda_iterations: int) -> Path:
+             lda_iterations: int, dataset_hash: str | None = None) -> Path:
         """Persist one city's assets under their content key.
 
         Publication is atomic (write to a hidden temp directory, then
         ``rename``).  If a valid entry already exists -- e.g. a
         concurrent writer won the race -- the write is discarded; the
         content is deterministic in the key, so both copies are equal.
-        Returns the published directory.
+        Non-template datasets must pass ``dataset_hash`` (see
+        :func:`dataset_content_hash`) so the key states what the entry
+        actually holds.  Returns the published directory.
         """
         key = self.key(city, seed=seed, scale=scale,
-                       lda_iterations=lda_iterations)
+                       lda_iterations=lda_iterations,
+                       dataset_hash=dataset_hash)
         final = self.path(key)
         tmp = self.root / f".tmp-{key.dirname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
         tmp.mkdir()
@@ -432,7 +471,8 @@ class AssetStore:
                 raise StoreCorruption(f"digest mismatch on {name}")
 
     def load(self, city: str, *, seed: int, scale: float,
-             lda_iterations: int) -> CityAssets | None:
+             lda_iterations: int,
+             dataset_hash: str | None = None) -> CityAssets | None:
         """The assets stored for a key, or ``None``.
 
         ``None`` covers the honest miss (nothing published) and every
@@ -446,7 +486,8 @@ class AssetStore:
         read-only views onto the shared memory mapping.
         """
         key = self.key(city, seed=seed, scale=scale,
-                       lda_iterations=lda_iterations)
+                       lda_iterations=lda_iterations,
+                       dataset_hash=dataset_hash)
         entry = self.path(key)
         if not (entry / _MANIFEST).is_file():
             self._count("misses")

@@ -25,7 +25,9 @@ nothing (manifest only)         rewrite the entry from the intact segment
 ``meta``                        refit index + arrays (schema/scalars live
                                 in meta; the dataset is still salvaged)
 ``dataset``                     regenerate from the key (template cities
-                                only -- others are unrecoverable)
+                                only -- hash-keyed wire datasets are
+                                unrecoverable: the hash names content
+                                the key cannot rebuild)
 header / directory / checksums  nothing salvageable: full refit from the
                                 key, or unrecoverable without one
 ==============================  =============================================
@@ -126,7 +128,8 @@ def _recover_key(store: AssetStore, entry: Path,
                     and raw.get("format_version") == FORMAT_VERSION):
                 return store.key(str(raw["city"]), seed=raw["seed"],
                                  scale=raw["scale"],
-                                 lda_iterations=raw["lda_iterations"])
+                                 lda_iterations=raw["lda_iterations"],
+                                 dataset_hash=raw.get("dataset_hash"))
         except (OSError, ValueError, KeyError, TypeError):
             continue
     return None
@@ -198,6 +201,14 @@ def repair_entry(store: AssetStore, name: str, *,
     try:
         if ok["dataset"]:
             dataset = read_dataset(segment)
+        elif key.dataset_hash is not None:
+            # A hash-keyed entry holds caller data the key cannot
+            # regenerate; resurrecting the *template* city here would
+            # silently publish wrong bytes under the hash's identity.
+            report.status = "unrecoverable"
+            report.detail = ("dataset region lost and the key is "
+                             "content-hashed (not regenerable)")
+            return report
         else:
             # Deterministic in the key -- byte-identical to the lost
             # region for template cities; anything else is gone.
@@ -223,7 +234,8 @@ def repair_entry(store: AssetStore, name: str, *,
         report.status = "repairable"
         return report
     store.save(assets, city=key.city, seed=key.seed, scale=key.scale,
-               lda_iterations=key.lda_iterations)
+               lda_iterations=key.lda_iterations,
+               dataset_hash=key.dataset_hash)
     store._count("repairs")
     report.status = "repaired"
     return report

@@ -140,7 +140,9 @@ class TestPickle:
         for cat in CATEGORIES:
             ca, cb = arrays.categories[cat], clone.categories[cat]
             for field in ("ids", "rows", "lats", "lons", "costs",
-                          "vectors", "vector_norms", "cost_order"):
+                          "vectors", "vector_norms", "cost_order",
+                          "cell_cells", "cell_start", "cell_rows",
+                          "cell_bounds"):
                 assert np.array_equal(getattr(ca, field), getattr(cb, field))
 
     def test_unpickled_bundle_builds_identical_packages(self, app, profile):

@@ -41,6 +41,7 @@ from repro.store import (
     AssetStore,
     CityAssets,
     Segment,
+    dataset_content_hash,
     repair_store,
 )
 from repro.store.assets import _MANIFEST, _SEGMENT
@@ -613,3 +614,79 @@ class TestShardConfigStore:
                 "city": "paris", "group_spec": {"size": 3, "seed": 1},
             })
             assert response.get("error") is None
+
+
+class TestDatasetHashKeys:
+    """Wire-registered (non-template) cities persist under a dataset
+    content hash; hash-keyed entries are never "repaired" into
+    template data."""
+
+    def test_hash_changes_key_and_dirname(self, store, fast_fit):
+        digest = dataset_content_hash(fast_fit.dataset)
+        plain = store.key("paris", **FAST)
+        hashed = store.key("paris", dataset_hash=digest, **FAST)
+        assert plain.dataset_hash is None
+        assert hashed.dataset_hash == digest
+        assert plain.dirname() != hashed.dirname()
+        assert f"-d{digest[:8]}-" in hashed.dirname()
+        assert hashed.to_dict()["dataset_hash"] == digest
+
+    def test_hash_keyed_save_and_load_round_trip(self, store, fast_fit):
+        digest = dataset_content_hash(fast_fit.dataset)
+        assets = CityAssets(fast_fit.dataset, fast_fit.item_index,
+                            fast_fit.arrays)
+        store.save(assets, city="wirecity", dataset_hash=digest, **FAST)
+        # The plain key and a different hash are both misses.
+        assert store.load("wirecity", **FAST) is None
+        assert store.load("wirecity", dataset_hash="0" * 16, **FAST) is None
+        loaded = store.load("wirecity", dataset_hash=digest, **FAST)
+        assert loaded is not None
+        assert dataset_content_hash(loaded.dataset) == digest
+
+    def test_wire_registration_persists_across_restart(self, store,
+                                                       fast_fit):
+        cold = CityRegistry(store=store, **FAST)
+        entry = cold.register(fast_fit.dataset, name="wirecity")
+        assert cold.stats()["counters"]["fits"] == 1
+        digest = dataset_content_hash(fast_fit.dataset)
+        assert store.contains("wirecity", dataset_hash=digest, **FAST)
+
+        warm = CityRegistry(store=store, **FAST)
+        hydrated = warm.register(fast_fit.dataset, name="wirecity")
+        counters = warm.stats()["counters"]
+        assert counters["fits"] == 0 and counters["store_hits"] == 1
+        profile = GroupGenerator(entry.schema,
+                                 seed=9).uniform_group(5).profile()
+        assert _package_bytes(entry.builder.build(profile, DEFAULT_QUERY)) \
+            == _package_bytes(hydrated.builder.build(profile, DEFAULT_QUERY))
+
+    def test_different_content_is_a_different_key(self, store, fast_fit):
+        registry = CityRegistry(store=store, **FAST)
+        registry.register(fast_fit.dataset, name="wirecity")
+        other = generate_city("barcelona", seed=8, scale=0.15)
+        registry.register(other, name="wirecity")
+        assert registry.stats()["counters"]["fits"] == 2
+        assert len(store.keys()) == 2  # one entry per content hash
+
+    def test_caller_supplied_index_still_bypasses_the_store(self, store,
+                                                            fast_fit):
+        registry = CityRegistry(store=store, **FAST)
+        registry.register(fast_fit.dataset, fast_fit.item_index,
+                          name="wirecity")
+        assert not store.keys()
+
+    def test_damaged_dataset_in_hash_keyed_entry_is_unrecoverable(
+            self, store, fast_fit):
+        digest = dataset_content_hash(fast_fit.dataset)
+        assets = CityAssets(fast_fit.dataset, fast_fit.item_index,
+                            fast_fit.arrays)
+        entry = store.save(assets, city="paris", dataset_hash=digest, **FAST)
+        _flip_byte(entry / _SEGMENT, _region_offset(entry, "dataset") + 8)
+        report = repair_store(store, [entry.name])[0]
+        assert report.status == "unrecoverable"
+        assert "content-hashed" in report.detail
+        # The same damage on a template-keyed entry stays repairable.
+        plain = store.save(assets, city="paris", **FAST)
+        _flip_byte(plain / _SEGMENT, _region_offset(plain, "dataset") + 8)
+        report = repair_store(store, [plain.name])[0]
+        assert report.status == "repaired"

@@ -28,7 +28,8 @@ import pytest
 from repro.core.query import DEFAULT_QUERY
 from repro.profiles.generator import GroupGenerator
 from repro.service.registry import CityRegistry
-from repro.store import AssetStore, CityAssets, repair_entry, repair_store
+from repro.store import (AssetStore, CityAssets, FORMAT_VERSION,
+                         repair_entry, repair_store)
 from repro.store.assets import _MANIFEST, _SEGMENT
 from repro.store.segment import (
     DEFAULT_PAGE_SIZE,
@@ -358,7 +359,7 @@ class TestCLI:
         assert code == 0
         payload = json.loads(out)
         assert payload["damaged_pages"] == []
-        assert payload["segment"]["format_version"] == 2
+        assert payload["segment"]["format_version"] == FORMAT_VERSION
 
     def test_verify_clean_and_damaged(self, saved, capsys):
         store, entry = saved
