@@ -25,7 +25,7 @@ architecture overview; ``repro.experiments`` reproduces the paper's
 tables and figures.
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 from repro.core import (
     CityArrays,

@@ -142,6 +142,40 @@ class ItemVectorIndex:
                     )
         return cls(source.schema, vectors, dict(source._topic_models))
 
+    def extend_with(self, poi: POI, seed: int = 0) -> np.ndarray:
+        """Embed one *new* POI into the fitted coordinate system.
+
+        The live-mutation (``add_poi``) counterpart of :meth:`transfer`:
+        accommodation / transportation POIs get the usual one-hot type
+        vector, restaurants / attractions a fold-in LDA inference under
+        the already-fitted topic model (uniform when no model was
+        fitted).  The vector is stored in the index -- overwriting any
+        previous embedding of the same id, so a close-then-reopen POI
+        re-embeds with its current tags -- and a copy is returned.
+
+        The topic models themselves are **not** refitted; the new POI is
+        expressed in the existing coordinate system, which is what keeps
+        incremental :class:`~repro.core.arrays.CityArrays` patching
+        byte-identical to a fresh build over the same index.
+        """
+        cat = poi.cat
+        if cat in _TOPIC_CATEGORIES:
+            lda = self._topic_models.get(cat)
+            if lda is None:
+                n_topics = self.schema.size(cat)
+                vec = np.full(n_topics, 1.0 / n_topics)
+            else:
+                vec = lda.infer_theta(list(poi.tags), seed=seed)
+        else:
+            type_list = self.schema.labels(cat)
+            type_index = {t: i for i, t in enumerate(type_list)}
+            vec = np.zeros(len(type_list))
+            slot = type_index.get(poi.type)
+            if slot is not None:
+                vec[slot] = 1.0
+        self._vectors[poi.id] = vec
+        return vec.copy()
+
     # -- persistence ----------------------------------------------------------
 
     def category_vectors(self, dataset: POIDataset) -> dict[Category, tuple[np.ndarray, np.ndarray]]:

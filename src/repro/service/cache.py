@@ -48,12 +48,18 @@ def profile_fingerprint(profile: GroupProfile) -> str:
 
 def cache_key(city: str, profile: GroupProfile, query: GroupQuery,
               weights: ObjectiveWeights | None, k: int | None,
-              seed: int | None) -> tuple:
+              seed: int | None, epoch: int = 0) -> tuple:
     """The full cache key for one build request.
 
     ``None`` for ``weights``/``k``/``seed`` means "the city builder's
     defaults" and is kept distinct from explicit values on purpose: two
     registries may configure the same city differently.
+
+    ``epoch`` is the city's live-mutation version (see
+    :class:`~repro.service.registry.CityEntry`).  Keying on it makes
+    mutation-driven invalidation structural: every entry cached against
+    an older dataset simply stops matching after a mutation and ages
+    out of the LRU -- no scan-and-purge, no stale reads.
     """
     query_part = (
         tuple(sorted((cat.value, n) for cat, n in query.counts.items())),
@@ -64,7 +70,7 @@ def cache_key(city: str, profile: GroupProfile, query: GroupQuery,
         if weights is not None else None
     )
     return (city, profile_fingerprint(profile), query_part, weights_part,
-            k, seed)
+            k, seed, epoch)
 
 
 class PackageCache:

@@ -37,6 +37,7 @@ from repro.core.package import TravelPackage
 from repro.core.query import DEFAULT_QUERY, GroupQuery
 from repro.core.refine import refine_batch
 from repro.data.poi import POI, Category
+from repro.live.mutations import mutation_from_dict
 from repro.obs import (
     ObsConfig,
     ResourceSampler,
@@ -74,12 +75,27 @@ class UnknownSessionError(KeyError):
     """Raised when a session id does not name an open session."""
 
 
+class StaleEpochError(RuntimeError):
+    """A session pinned to an old city epoch could not be replayed.
+
+    Raised when a live mutation moved the session's city to a newer
+    epoch and re-applying the session's edit log against the new
+    dataset no longer works (e.g. an edit references a closed POI).
+    Maps to the structured ``stale_epoch`` wire code; the client
+    recovers by closing the session and reopening against the current
+    epoch.
+    """
+
+
 @dataclass
 class _Session:
     """One open customization session and its serving context.
 
     ``origin`` is the request that opened the session: rebuilds must
-    reuse its weights/k/seed, not the city defaults.
+    reuse its weights/k/seed, not the city defaults.  ``epoch`` pins
+    the city version the session's state was derived from;
+    ``edit_log`` records the applied :class:`CustomizeRequest`\\ s so
+    the session can be deterministically replayed onto a newer epoch.
     """
 
     id: str
@@ -87,6 +103,8 @@ class _Session:
     editor: CustomizationSession
     profile: GroupProfile
     origin: BuildRequest
+    epoch: int = 0
+    edit_log: list[CustomizeRequest] = field(default_factory=list)
     lock: Lock = field(default_factory=Lock)
 
 
@@ -151,6 +169,12 @@ class PackageService:
         # windowed rates live in self.metrics.windows alongside it.
         self._assembly_totals = AssemblyCounters()
         self._assembly_lock = Lock()
+        # Cumulative live-mutation counters (windowed rates live in
+        # self.metrics.windows under the ``live.*`` names).
+        self._live_totals = {"mutations_applied": 0, "full_rebuilds": 0,
+                             "patch_ms_total": 0.0, "sessions_replayed": 0,
+                             "sessions_stale": 0}
+        self._live_lock = Lock()
 
     # -- building ----------------------------------------------------------
 
@@ -202,7 +226,8 @@ class PackageService:
             entry = self.registry.entry(request.city)
             profile = self._resolve_profile(entry, request)
             key = cache_key(entry.name, profile, request.query,
-                            request.weights, request.k, request.seed)
+                            request.weights, request.k, request.seed,
+                            epoch=entry.epoch)
             hit = self.cache.get(key)
             cached = hit is not None
             if hit is None:
@@ -279,6 +304,8 @@ class PackageService:
     @staticmethod
     def _classify(exc: Exception) -> str:
         """The :class:`ErrorCode` a failure maps to on the wire."""
+        if isinstance(exc, StaleEpochError):
+            return ErrorCode.STALE_EPOCH.value
         if isinstance(exc, UnknownSessionError):
             return ErrorCode.UNKNOWN_SESSION.value
         if isinstance(exc, KeyError):
@@ -333,7 +360,7 @@ class PackageService:
                 return self._sessions_full_response(request)
             self._sessions[session_id] = _Session(
                 id=session_id, entry=entry, editor=editor, profile=profile,
-                origin=request,
+                origin=request, epoch=entry.epoch,
             )
         return replace(response, session_id=session_id)
 
@@ -359,10 +386,14 @@ class PackageService:
         entry = session.entry
         try:
             with session.lock, collect_assembly_counters() as scans:
+                self._ensure_fresh(session)
+                entry = session.entry  # replay may have advanced it
                 self._dispatch(session, request)
+                session.edit_log.append(request)
                 package = session.editor.package
             self._record_assembly(scans)
-        except (KeyError, ValueError, StopIteration, IndexError) as exc:
+        except (KeyError, ValueError, StopIteration, IndexError,
+                StaleEpochError) as exc:
             return self._error_response(entry.name, exc, start,
                                         request_id=request.request_id,
                                         session_id=request.session_id)
@@ -374,9 +405,59 @@ class PackageService:
             session_id=request.session_id, request_id=request.request_id,
         )
 
+    def _ensure_fresh(self, session: _Session) -> None:
+        """Reconcile a session with its city's current epoch (caller
+        holds ``session.lock``).
+
+        No-op while the epochs match.  After a live mutation, the
+        session's package/editor were derived from a dataset that no
+        longer exists; serving from them would be a stale read.  The
+        session is *replayed*: its origin request is rebuilt against
+        the current entry (with the session's possibly-refined profile)
+        and the logged edits are re-applied in order.  If any edit no
+        longer applies -- e.g. it references a POI that has since
+        closed -- the session state is left untouched and
+        :class:`StaleEpochError` propagates as the structured
+        ``stale_epoch`` wire code.
+        """
+        current = self.registry.entry(session.entry.name)
+        if current.epoch == session.epoch:
+            return
+        request = replace(session.origin, profile=session.profile,
+                          group_spec=None)
+        response, entry, profile = self._serve_build(request)
+        if not response.ok or entry is None:
+            self._record_replay(ok=False)
+            raise StaleEpochError(
+                f"session {session.id}: rebuild against epoch "
+                f"{current.epoch} failed: {response.error}"
+            )
+        weights = session.origin.weights or entry.builder.weights
+        editor = CustomizationSession(
+            package=response.package, dataset=entry.dataset, profile=profile,
+            item_index=entry.item_index, beta=weights.beta,
+            gamma=weights.gamma, arrays=entry.arrays,
+        )
+        try:
+            for edit in session.edit_log:
+                self._apply_edit(editor, entry.dataset, edit)
+        except (KeyError, ValueError, StopIteration, IndexError) as exc:
+            self._record_replay(ok=False)
+            raise StaleEpochError(
+                f"session {session.id}: logged edit no longer applies at "
+                f"epoch {entry.epoch}: {exc}"
+            ) from None
+        session.entry = entry
+        session.epoch = entry.epoch
+        session.editor = editor
+        session.profile = profile
+        self._record_replay(ok=True)
+
     def _dispatch(self, session: _Session, request: CustomizeRequest) -> None:
-        editor = session.editor
-        dataset = session.entry.dataset
+        self._apply_edit(session.editor, session.entry.dataset, request)
+
+    def _apply_edit(self, editor: CustomizationSession, dataset,
+                    request: CustomizeRequest) -> None:
         if request.op is CustomizeOp.REMOVE:
             if request.poi_id not in editor.package[request.ci_index]:
                 raise KeyError(
@@ -410,6 +491,7 @@ class PackageService:
         """ADD candidates near a CI's centroid (the UI's pick list)."""
         session = self._session(session_id)
         with session.lock:
+            self._ensure_fresh(session)
             return session.editor.suggest_additions(
                 ci_index, k=k, category=category, poi_type=poi_type,
             )
@@ -428,6 +510,7 @@ class PackageService:
         session = self._session(session_id)
         with session.lock, self.metrics.timed("refine"), \
                 stage("refine", city=session.entry.name):
+            self._ensure_fresh(session)
             refined = refine_batch(session.profile,
                                    session.editor.interactions,
                                    session.entry.item_index)
@@ -441,6 +524,7 @@ class PackageService:
         profile and swap it into the session."""
         session = self._session(session_id)
         with session.lock:
+            self._ensure_fresh(session)
             request = BuildRequest(
                 city=session.entry.name,
                 query=query or session.editor.package.query or DEFAULT_QUERY,
@@ -475,7 +559,8 @@ class PackageService:
 
     #: Operations :meth:`dispatch` understands, mapped to handlers by name.
     DISPATCH_OPS = ("ping", "build", "batch", "open_session", "customize",
-                    "close_session", "warmup", "stats", "trace", "health")
+                    "close_session", "mutate", "warmup", "stats", "trace",
+                    "health")
 
     def dispatch(self, op: str, payload: dict) -> dict:
         """Serve one wire-format operation: plain dicts in, plain dicts
@@ -565,6 +650,8 @@ class PackageService:
                 return {"session_id": session_id,
                         "interactions": [i.to_dict() for i in log],
                         "request_id": payload.get("request_id")}
+            if op == "mutate":
+                return self._serve_mutate(payload)
             if op == "warmup":
                 failed: dict[str, str] = {}
                 for city in [str(c) for c in payload.get("cities", ())]:
@@ -597,6 +684,63 @@ class PackageService:
                 request_id=(payload.get("request_id")
                             if isinstance(payload, dict) else None),
             ).to_dict()
+
+    # -- live mutations ------------------------------------------------------
+
+    def _serve_mutate(self, payload: dict) -> dict:
+        """The ``mutate`` wire op: apply one live mutation to a city.
+
+        The payload is ``{"city": ..., "mutation": {<Mutation wire
+        form>}, "request_id": ...}``; the response echoes the registry's
+        receipt (new ``epoch``, log ``seq``, whether the arrays were
+        incrementally ``patched``, ``patch_ms``, ``n_pois``, the new
+        ``dataset_hash`` when a store wrote it back).  Failures come
+        back as error responses: an unknown city is ``not_found``, a
+        malformed or inapplicable mutation ``invalid``.
+        """
+        start = time.perf_counter()
+        city = str(payload.get("city", ""))
+        try:
+            if not city:
+                raise ValueError("a mutate request needs a city")
+            mutation = mutation_from_dict(payload.get("mutation"))
+            with stage("mutate", city=city):
+                result = self.registry.mutate(city, mutation)
+        except (KeyError, ValueError, RuntimeError) as exc:
+            return self._error_response(
+                city, exc, start, request_id=payload.get("request_id"),
+            ).to_dict()
+        latency = time.perf_counter() - start
+        self.metrics.record("mutate", latency)
+        self._record_mutation(result)
+        return dict(result, latency_ms=latency * 1000.0,
+                    request_id=payload.get("request_id"))
+
+    def _record_mutation(self, result: dict) -> None:
+        """Publish one applied mutation's counters: windowed rates for
+        dashboards/SLO horizons, cumulative totals for :meth:`stats`."""
+        windows = self.metrics.windows
+        windows.counter_inc("live.mutations_applied")
+        if not result["patched"]:
+            windows.counter_inc("live.full_rebuilds")
+        # observe() takes seconds; patch_ms is the registry's receipt.
+        windows.observe("live.patch_ms", result["patch_ms"] / 1000.0)
+        with self._live_lock:
+            totals = self._live_totals
+            totals["mutations_applied"] += 1
+            totals["full_rebuilds"] += 0 if result["patched"] else 1
+            totals["patch_ms_total"] += result["patch_ms"]
+
+    def _record_replay(self, ok: bool) -> None:
+        key = "sessions_replayed" if ok else "sessions_stale"
+        self.metrics.windows.counter_inc(f"live.{key}")
+        with self._live_lock:
+            self._live_totals[key] += 1
+
+    def live_stats(self) -> dict:
+        """Cumulative live-mutation counters (JSON-ready copy)."""
+        with self._live_lock:
+            return dict(self._live_totals)
 
     # -- observability -------------------------------------------------------
 
@@ -648,6 +792,7 @@ class PackageService:
             "cache": self.cache.stats(),
             "registry": self.registry.stats(),
             "assembly": self.assembly_stats(),
+            "live": self.live_stats(),
             "metrics": self.metrics.snapshot(),
             "obs": self.tracer.snapshot(),
         }

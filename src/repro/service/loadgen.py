@@ -1,7 +1,7 @@
 """Deterministic workload generation: ``python -m repro.service loadgen``.
 
 A workload is a seeded, reproducible sequence of **actions** against
-the serving tier, drawn from four traffic kinds:
+the serving tier, drawn from these traffic kinds:
 
 * ``cold``  -- a build request with a never-repeated group spec (a
   cache miss wherever it lands);
@@ -13,7 +13,13 @@ the serving tier, drawn from four traffic kinds:
   the generator cannot know POI ids up front), then close it;
 * ``budget`` -- a cold build carrying a finite budget drawn from
   ``budget_sweep``, so serving traffic exercises the assembly repair
-  phase (``_repair_budget``) instead of only the unconstrained path.
+  phase (``_repair_budget``) instead of only the unconstrained path;
+* ``mutate`` -- a live city mutation (:mod:`repro.live`): a probe build
+  against a warm-pool spec resolves a concrete POI at run time (the
+  generator cannot know POI ids up front), then a ``mutate`` envelope
+  reprices it, bumping the city's epoch.  The exit summary reports the
+  resulting epoch churn: mutations applied, epoch bumps observed, and
+  stale-epoch retries clients paid.
 
 ``count_sweep`` additionally varies the requested attraction count
 across build-type actions, sweeping CI sizes (and thus repair
@@ -55,7 +61,7 @@ import random
 import sys
 import time
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Awaitable, Callable
 
 from repro.service.server import DEFAULT_PORT
@@ -109,7 +115,8 @@ class LoadgenConfig:
         if self.actions < 1:
             raise ValueError("a workload needs at least one action")
         kinds = {kind for kind, _ in self.mix}
-        unknown = kinds - {"cold", "warm", "batch", "session", "budget"}
+        unknown = kinds - {"cold", "warm", "batch", "session", "budget",
+                           "mutate"}
         if unknown:
             raise ValueError(f"unknown traffic kinds: {sorted(unknown)}")
         if "budget" in kinds and not self.budget_sweep:
@@ -130,9 +137,12 @@ class Action:
     script whose edit targets are resolved at run time."""
 
     kind: str
-    envelope: dict | None = None    # cold / warm / batch
+    envelope: dict | None = None    # cold / warm / batch; mutate probe
     open_envelope: dict | None = None   # session
     edits: int = 0                      # session
+    #: ``mutate`` only: ``{"city", "request_id"}`` -- the concrete
+    #: mutation is resolved from the probe build's package at run time.
+    mutate: dict | None = None
 
 
 def _build_payload(city: str, spec_seed: int, group_size: int,
@@ -210,6 +220,17 @@ def build_workload(config: LoadgenConfig) -> list[Action]:
                                           attr_count=attr_for(index)),
             }))
             cold_seed += 1
+        elif kind == "mutate":
+            # A probe build against a warm-pool spec resolves a POI to
+            # reprice; the mutation itself is derived from the probe's
+            # package at run time (see _mutation_from_probe).
+            spec = rng.randrange(config.warm_pool)
+            actions.append(Action(kind, envelope={
+                "op": "build",
+                "request": _build_payload(city, spec,
+                                          config.group_size, f"{rid}.probe",
+                                          attr_count=attr_for(spec)),
+            }, mutate={"city": city, "request_id": rid}))
         else:  # session
             spec = rng.randrange(config.warm_pool)
             actions.append(Action(kind, open_envelope={
@@ -235,11 +256,9 @@ def _tag_action(action: Action, trace_id: str) -> Action:
     """A copy of ``action`` whose envelope carries a client trace id."""
     trace = {"trace_id": trace_id}
     if action.envelope is not None:
-        return Action(action.kind,
-                      envelope=dict(action.envelope, trace=trace))
-    return Action(action.kind,
-                  open_envelope=dict(action.open_envelope, trace=trace),
-                  edits=action.edits)
+        return replace(action, envelope=dict(action.envelope, trace=trace))
+    return replace(action,
+                   open_envelope=dict(action.open_envelope, trace=trace))
 
 
 # -- reports ------------------------------------------------------------------
@@ -255,6 +274,11 @@ class LoadgenReport:
     cached: int = 0
     traced: int = 0
     failed_connections: int = 0
+    mutations_sent: int = 0
+    stale_epoch_retries: int = 0
+    #: Highest epoch observed per city in mutate responses -- epoch
+    #: churn the run itself caused (plus any pre-existing epochs).
+    epochs_seen: dict = field(default_factory=dict)
     by_kind: Counter = field(default_factory=Counter)
     error_codes: Counter = field(default_factory=Counter)
     error_samples: list = field(default_factory=list)
@@ -264,6 +288,11 @@ class LoadgenReport:
     def throughput(self) -> float:
         """Responses per second of wall clock."""
         return self.sent / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def epoch_bumps(self) -> int:
+        """Total epoch advances observed across cities."""
+        return sum(self.epochs_seen.values())
 
     def observe(self, kind: str, response: dict) -> None:
         self.sent += 1
@@ -282,10 +311,34 @@ class LoadgenReport:
                 self.error_codes[code] += 1
                 if code == "overloaded":
                     self.shed += 1
+                elif code == "stale_epoch":
+                    # A session raced a concurrent mutation; the client
+                    # reopens against the new epoch.  Expected churn
+                    # under a mutating mix, not a server failure.
+                    self.stale_epoch_retries += 1
                 else:
                     self.errors += 1
                 if len(self.error_samples) < 5:
                     self.error_samples.append(error)
+
+    def observe_mutate(self, city: str, response: dict) -> None:
+        """Record one ``mutate`` envelope's outcome."""
+        self.sent += 1
+        self.by_kind["mutate"] += 1
+        error = response.get("error")
+        if error is None:
+            self.ok += 1
+            self.mutations_sent += 1
+            epoch = response.get("epoch")
+            if isinstance(epoch, int):
+                self.epochs_seen[city] = max(
+                    self.epochs_seen.get(city, 0), epoch)
+        else:
+            code = response.get("code") or "unclassified"
+            self.error_codes[code] += 1
+            self.errors += 1
+            if len(self.error_samples) < 5:
+                self.error_samples.append(error)
 
     def merge(self, other: "LoadgenReport") -> None:
         self.sent += other.sent
@@ -295,6 +348,11 @@ class LoadgenReport:
         self.cached += other.cached
         self.traced += other.traced
         self.failed_connections += other.failed_connections
+        self.mutations_sent += other.mutations_sent
+        self.stale_epoch_retries += other.stale_epoch_retries
+        for city, epoch in other.epochs_seen.items():
+            self.epochs_seen[city] = max(self.epochs_seen.get(city, 0),
+                                         epoch)
         self.by_kind += other.by_kind
         self.error_codes += other.error_codes
         self.error_samples = (self.error_samples
@@ -309,6 +367,11 @@ class LoadgenReport:
                 f"({self.throughput:.1f} actions/s)")
         if self.traced:
             line += f"; {self.traced} traced"
+        if (self.mutations_sent or self.stale_epoch_retries
+                or self.epochs_seen):
+            line += (f"; live: {self.mutations_sent} mutation(s) applied, "
+                     f"{self.epoch_bumps} epoch bump(s) observed, "
+                     f"{self.stale_epoch_retries} stale-epoch retries")
         if self.failed_connections:
             line += f"; {self.failed_connections} connection(s) failed"
         if self.error_samples:
@@ -342,6 +405,21 @@ def _session_edit_envelopes(open_response: dict, edits: int) -> list[dict]:
     return envelopes
 
 
+def _mutation_from_probe(probe: dict) -> dict | None:
+    """A concrete reprice mutation resolved from a probe build's
+    package; ``None`` when the probe errored (nothing to mutate)."""
+    package = probe.get("package")
+    if probe.get("error") is not None or not package:
+        return None
+    pois = package["composite_items"][-1]["pois"]
+    poi = pois[-1]
+    # A deterministic, strictly positive nudge: repeated reprices of
+    # the same POI keep moving its cost, so every mutate action is a
+    # real epoch bump even under warm-pool repeats.
+    return {"kind": "reprice_poi", "poi_id": poi["id"],
+            "cost": round(float(poi["cost"]) * 1.07 + 0.01, 4)}
+
+
 #: An async transport: one envelope in, one response dict out.  Both
 #: runners reduce to this, so the session state machine exists once.
 Send = Callable[[dict], Awaitable[dict]]
@@ -349,6 +427,27 @@ Send = Callable[[dict], Awaitable[dict]]
 
 async def _run_action(send: Send, action: Action,
                       report: LoadgenReport) -> None:
+    if action.mutate is not None:
+        # Probe first: the build resolves a concrete POI id the
+        # generator could not know, then the mutation reprices it.
+        probe = await send(action.envelope)
+        report.observe("mutate_probe", probe)
+        mutation = _mutation_from_probe(probe)
+        if mutation is None:
+            return
+        city = action.mutate["city"]
+        envelope = {"op": "mutate", "request": {
+            "city": city, "mutation": mutation,
+            "request_id": action.mutate["request_id"],
+        }}
+        probe_trace = action.envelope.get("trace")
+        if probe_trace is not None:
+            # A distinct id: the mutate is its own request, not part of
+            # the probe's span tree.
+            envelope["trace"] = {
+                "trace_id": f"{probe_trace['trace_id']}-m"}
+        report.observe_mutate(city, await send(envelope))
+        return
     if action.envelope is not None:
         report.observe(action.kind, await send(action.envelope))
         return
@@ -636,6 +735,11 @@ def loadgen_main(argv: list[str] | None = None) -> int:
                         help="budget sweep for the 'budget' traffic kind "
                              "(exercises the assembly repair phase); adds "
                              "the kind to the mix when absent")
+    parser.add_argument("--mutate-weight", type=float, default=None,
+                        metavar="W",
+                        help="add the 'mutate' traffic kind (live city "
+                             "mutations bumping epochs) to the mix with "
+                             "this weight")
     parser.add_argument("--attr-counts", default=None, metavar="N1,N2,...",
                         help="attraction-count sweep across build actions "
                              "(default: fixed at 3)")
@@ -715,6 +819,9 @@ def loadgen_main(argv: list[str] | None = None) -> int:
         mix = mix + (("budget", 0.2),)
     if not budgets and "budget" in {kind for kind, _ in mix}:
         parser.error("a mix containing 'budget' needs --budgets")
+    if (args.mutate_weight is not None
+            and "mutate" not in {kind for kind, _ in mix}):
+        mix = mix + (("mutate", args.mutate_weight),)
     config = LoadgenConfig(
         cities=cities,
         actions=args.actions, seed=args.seed, passes=args.passes,

@@ -33,10 +33,18 @@ Two optional knobs bound the cost of that materialization:
   least-recently-used entry is evicted (cheap to bring back when a
   store is attached).  ``stats()`` reports per-entry byte estimates so
   operators can size the bound.
+
+Cities are immutable *per epoch*, not forever: :meth:`CityRegistry.
+mutate` applies a :mod:`repro.live` mutation (close / reprice / add
+POI) by incrementally patching the ``CityArrays`` bundle, journaling
+the record in a per-city :class:`~repro.live.mutations.MutationLog`,
+bumping the city's epoch and publishing a new entry -- downstream
+caches and sessions key on the epoch to stay coherent.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -48,6 +56,8 @@ from repro.core.objective import ObjectiveWeights
 from repro.data.cities import city_names
 from repro.data.dataset import POIDataset
 from repro.data.synthetic import generate_city
+from repro.live.mutations import AddPoi, Mutation, MutationLog
+from repro.live.patch import patch_arrays
 from repro.obs import stage
 from repro.profiles.consensus import ConsensusMethod
 from repro.profiles.generator import GroupGenerator
@@ -60,13 +70,20 @@ from repro.store import AssetStore, CityAssets, dataset_content_hash
 
 @dataclass(frozen=True)
 class CityEntry:
-    """The pooled per-city serving assets."""
+    """The pooled per-city serving assets.
+
+    ``epoch`` is the city's live-mutation version: 0 for a freshly
+    loaded city, bumped by every :meth:`CityRegistry.mutate`.  Package
+    cache keys and customization sessions carry it, so state derived
+    from an older dataset can never be served against a newer one.
+    """
 
     name: str
     dataset: POIDataset
     item_index: ItemVectorIndex
     arrays: CityArrays
     builder: KFCBuilder
+    epoch: int = 0
 
     @property
     def schema(self) -> ProfileSchema:
@@ -101,7 +118,8 @@ class CityRegistry:
                  weights: ObjectiveWeights = ObjectiveWeights(),
                  candidate_pool: int = 60,
                  store: AssetStore | str | Path | None = None,
-                 max_cities: int | None = None) -> None:
+                 max_cities: int | None = None,
+                 mutation_log_capacity: int = 1024) -> None:
         if max_cities is not None and max_cities < 1:
             raise ValueError("max_cities must be at least 1")
         self.seed = seed
@@ -113,13 +131,19 @@ class CityRegistry:
         self.store = (AssetStore(store) if isinstance(store, (str, Path))
                       else store)
         self.max_cities = max_cities
+        self.mutation_log_capacity = mutation_log_capacity
         self._entries: OrderedDict[str, CityEntry] = OrderedDict()
         self._entry_bytes: dict[str, int] = {}
         self._profiles: OrderedDict[tuple, GroupProfile] = OrderedDict()
         self._lock = Lock()
         self._city_locks: dict[str, Lock] = {}
+        # Epochs outlive entries on purpose: an evicted-then-reloaded
+        # city keeps its version, so sessions pinned to a pre-eviction
+        # epoch can never spuriously match a post-eviction entry.
+        self._epochs: dict[str, int] = {}
+        self._mutation_logs: dict[str, MutationLog] = {}
         self._counters = {"fits": 0, "store_hits": 0, "store_misses": 0,
-                          "evictions": 0}
+                          "evictions": 0, "mutations": 0}
 
     #: Bound on cached spec resolutions; unlike city entries (at most
     #: eight templates) distinct specs are client-controlled, so the
@@ -193,6 +217,13 @@ class CityRegistry:
             raise ValueError("a registered dataset needs a city name")
         try:
             with self._lock_for(city):
+                with self._lock:
+                    if city in self._entries:
+                        # Re-registration replaces the serving dataset:
+                        # the new base compacts any mutation history and
+                        # must invalidate epoch-keyed caches/sessions.
+                        self._epochs[city] = self._epochs.get(city, 0) + 1
+                        self._mutation_logs.pop(city, None)
                 entry = None
                 dataset_hash = None
                 if (item_index is None and self.store is not None
@@ -240,8 +271,10 @@ class CityRegistry:
             seed=self.seed, candidate_pool=self.candidate_pool,
             arrays=arrays,
         )
+        with self._lock:
+            epoch = self._epochs.get(city, 0)
         return CityEntry(name=city, dataset=dataset, item_index=item_index,
-                         arrays=arrays, builder=builder)
+                         arrays=arrays, builder=builder, epoch=epoch)
 
     # -- the persistent store ----------------------------------------------
 
@@ -305,20 +338,120 @@ class CityRegistry:
                 return existing
         try:
             with self._lock_for(city):
+                return self._entry_locked(city)
+        except BaseException:
+            self._discard_lock(city)
+            raise
+
+    def _entry_locked(self, city: str) -> CityEntry:
+        """:meth:`entry`'s load-or-fit body; the caller holds the
+        city's lock (which is not reentrant, so :meth:`mutate` calls
+        this directly instead of :meth:`entry`)."""
+        with self._lock:
+            existing = self._entries.get(city)
+            if existing is not None:  # lost the race
+                self._entries.move_to_end(city)
+                return existing
+        entry = self._store_load(city)
+        if entry is None:
+            with stage("city_generate", city=city):
+                dataset = generate_city(city, seed=self.seed,
+                                        scale=self.scale)
+            entry = self._make_entry(city, dataset)
+            self._store_save(city, entry)
+        self._install(city, entry)
+        return entry
+
+    # -- live mutations ------------------------------------------------------
+
+    def epoch(self, city: str) -> int:
+        """The city's current live-mutation version (0 if never mutated)."""
+        with self._lock:
+            return self._epochs.get(city.lower(), 0)
+
+    def mutation_log(self, city: str) -> MutationLog | None:
+        """The city's journal of applied mutations (``None`` before the
+        first one)."""
+        with self._lock:
+            return self._mutation_logs.get(city.lower())
+
+    def mutate(self, city: str, mutation: Mutation) -> dict:
+        """Apply one live mutation to ``city`` and publish the next
+        epoch's entry.
+
+        Under the city's lock: validates the mutation against the
+        current dataset, derives the mutated dataset, **patches** the
+        ``CityArrays`` bundle incrementally (falling back to a full
+        rebuild if the patcher declines or fails -- the result is
+        byte-identical either way), journals the mutation, bumps the
+        city's epoch and installs the new entry.  ``_install`` also
+        re-estimates the entry's resident bytes, so LRU eviction
+        pressure tracks patched array growth instead of going stale.
+
+        With a store attached, the new version is written back under
+        its new dataset content hash (best-effort, like every store
+        save).  Returns a JSON-able receipt::
+
+            {"city", "epoch", "seq", "patched", "patch_ms", "n_pois",
+             "dataset_hash"}
+
+        Raises :class:`~repro.live.mutations.MutationError` (a
+        ``ValueError``) for mutations that do not apply, including a
+        full mutation log.
+        """
+        city = city.lower()
+        try:
+            with self._lock_for(city):
+                entry = self._entry_locked(city)
+                mutation.validate(entry.dataset)
                 with self._lock:
-                    existing = self._entries.get(city)
-                    if existing is not None:  # lost the race
-                        self._entries.move_to_end(city)
-                        return existing
-                entry = self._store_load(city)
-                if entry is None:
-                    with stage("city_generate", city=city):
-                        dataset = generate_city(city, seed=self.seed,
-                                                scale=self.scale)
-                    entry = self._make_entry(city, dataset)
-                    self._store_save(city, entry)
-                self._install(city, entry)
-                return entry
+                    log = self._mutation_logs.get(city)
+                    if log is None:
+                        log = self._mutation_logs[city] = MutationLog(
+                            city, capacity=self.mutation_log_capacity
+                        )
+                new_dataset = mutation.apply(entry.dataset)
+                if isinstance(mutation, AddPoi):
+                    # Embed the new POI in the already-fitted coordinate
+                    # system before either array path stacks it.
+                    entry.item_index.extend_with(mutation.poi,
+                                                 seed=self.seed)
+                patched = True
+                started = time.perf_counter()
+                with stage("live_patch", city=city):
+                    try:
+                        arrays = patch_arrays(entry.arrays, mutation,
+                                              entry.dataset, new_dataset,
+                                              entry.item_index)
+                    except Exception:
+                        # PatchUnsupported, or any patcher defect: the
+                        # full rebuild is the always-correct fallback.
+                        patched = False
+                        arrays = CityArrays.build(new_dataset,
+                                                  entry.item_index)
+                patch_ms = (time.perf_counter() - started) * 1000.0
+                seq = log.append(mutation)
+                with self._lock:
+                    epoch = self._epochs.get(city, 0) + 1
+                    self._epochs[city] = epoch
+                    self._counters["mutations"] += 1
+                new_entry = self._assemble_entry(city, new_dataset,
+                                                 entry.item_index, arrays)
+                self._install(city, new_entry)
+                dataset_hash = None
+                if self.store is not None:
+                    dataset_hash = dataset_content_hash(new_dataset)
+                    self._store_save(city, new_entry,
+                                     dataset_hash=dataset_hash)
+                return {
+                    "city": city,
+                    "epoch": epoch,
+                    "seq": seq,
+                    "patched": patched,
+                    "patch_ms": patch_ms,
+                    "n_pois": len(new_dataset),
+                    "dataset_hash": dataset_hash,
+                }
         except BaseException:
             self._discard_lock(city)
             raise
@@ -363,12 +496,14 @@ class CityRegistry:
         with self._lock:
             bytes_by_city = dict(self._entry_bytes)
             counters = dict(self._counters)
+            epochs = {c: e for c, e in self._epochs.items() if e}
         snapshot = {
             "cities": sorted(bytes_by_city),
             "max_cities": self.max_cities,
             "bytes_by_city": bytes_by_city,
             "total_bytes": sum(bytes_by_city.values()),
             "counters": counters,
+            "epochs": epochs,
         }
         if self.store is not None:
             snapshot["store"] = self.store.stats()

@@ -48,6 +48,10 @@ class ErrorCode(str, enum.Enum):
     UNKNOWN_SESSION = "unknown_session"
     OVERLOADED = "overloaded"      # shed by admission control; retryable
     FAILED = "failed"              # internal build failure
+    #: The session's city moved to a newer epoch (a live mutation) and
+    #: its interaction log could not be replayed; the session is still
+    #: open but pinned -- reopen or rebuild against the new epoch.
+    STALE_EPOCH = "stale_epoch"
 
 
 @dataclass(frozen=True)

@@ -15,9 +15,11 @@ between front-end and workers is the picklable wire dicts of
 
 Routing rules:
 
-* ``build`` / ``open_session`` / ``batch`` requests route by **city
-  affinity** -- explicit placement first (cities named up front are
-  spread round-robin), a stable CRC32 hash of the city name otherwise.
+* ``build`` / ``open_session`` / ``mutate`` / ``batch`` requests route
+  by **city affinity** -- explicit placement first (cities named up
+  front are spread round-robin), a stable CRC32 hash of the city name
+  otherwise.  Mutations therefore hit the one shard that owns the
+  city's entry, epoch counter and mutation log (single-writer epochs).
   ``hash()`` is per-process salted and useless here; routing must be
   identical across runs for the determinism guarantees to hold.
 * ``customize`` / ``close_session`` requests are **sticky**: a session
@@ -421,7 +423,10 @@ class ShardCluster:
         to the response dict (session ids in cluster form)."""
         if self._closed:
             raise RuntimeError("cluster is shut down")
-        if op in ("build", "open_session"):
+        if op in ("build", "open_session", "mutate"):
+            # City-affinity ops, mutate included: the owning shard holds
+            # the city's entry, epoch and mutation log, so routing the
+            # mutation there keeps the epoch sequence single-writer.
             shard = self.shard_for(str(payload.get("city", "")))
             future = self._shards[shard].submit(op, payload)
             if op == "open_session":
@@ -609,6 +614,12 @@ class ShardCluster:
         for result in results:
             for name, value in (result.get("assembly") or {}).items():
                 assembly[name] = assembly.get(name, 0) + value
+        # Live-mutation counters sum the same way (each mutation is
+        # applied on exactly one shard -- the city's owner).
+        live: dict[str, float] = {}
+        for result in results:
+            for name, value in (result.get("live") or {}).items():
+                live[name] = live.get(name, 0) + value
         return {
             "shards": results,
             "placement": self.placement,
@@ -618,6 +629,7 @@ class ShardCluster:
             "cache": cache,
             "registry": registry,
             "assembly": assembly,
+            "live": live,
             "metrics": merge_snapshots([r["metrics"] for r in results]),
             "obs": Tracer.merge_obs([r.get("obs") for r in results]),
         }

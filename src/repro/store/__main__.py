@@ -8,7 +8,7 @@ recovery::
     python -m repro.store --root ./assets inspect paris-seed2019-...
     python -m repro.store --root ./assets verify [--deep] [NAME ...]
     python -m repro.store --root ./assets prune [--max-entries N]
-        [--max-bytes B] [--tmp-ttl SECS] [--dry-run]
+        [--max-bytes B] [--tmp-ttl SECS] [--keep-latest-only] [--dry-run]
     python -m repro.store --root ./assets repair [--dry-run] [NAME ...]
 
 Exit status is non-zero when ``verify`` finds an invalid entry or
@@ -164,16 +164,19 @@ def _cmd_verify(store: AssetStore, args) -> int:
 def _cmd_prune(store: AssetStore, args) -> int:
     report = store.prune(max_entries=args.max_entries,
                          max_bytes=args.max_bytes,
-                         tmp_ttl_s=args.tmp_ttl, dry_run=args.dry_run)
+                         tmp_ttl_s=args.tmp_ttl,
+                         keep_latest_only=args.keep_latest_only,
+                         dry_run=args.dry_run)
     if args.json:
         print(json.dumps(report, indent=2))
         return 0
     verb = "would remove" if args.dry_run else "removed"
-    for kind in ("stale_version", "lru", "tmp"):
+    for kind in ("stale_version", "superseded", "lru", "tmp"):
         for name in report[kind]:
             print(f"{verb} [{kind}] {name}")
-    print(f"{verb} {len(report['stale_version']) + len(report['lru'])} "
-          f"entr{'y' if 1 == len(report['stale_version']) + len(report['lru']) else 'ies'} "
+    removed = (len(report["stale_version"]) + len(report["superseded"])
+               + len(report["lru"]))
+    print(f"{verb} {removed} entr{'y' if removed == 1 else 'ies'} "
           f"+ {len(report['tmp'])} tmp dir(s), "
           f"{report['freed_bytes']:,} bytes freed; "
           f"{report['kept']} kept ({report['kept_bytes']:,} bytes)")
@@ -233,6 +236,11 @@ def main(argv: list[str] | None = None) -> int:
                          help="keep at most B bytes of current entries")
     p_prune.add_argument("--tmp-ttl", type=float, default=3600.0,
                          help="reap .tmp-* dirs older than SECS (default 1h)")
+    p_prune.add_argument("--keep-latest-only", action="store_true",
+                         help="drop superseded versions: entries sharing a "
+                              "city identity but an older dataset content "
+                              "hash (live mutations write each epoch back "
+                              "under a new hash)")
     p_prune.add_argument("--dry-run", action="store_true")
 
     p_repair = sub.add_parser("repair",

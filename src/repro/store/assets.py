@@ -556,10 +556,19 @@ class AssetStore:
 
     def prune(self, *, max_entries: int | None = None,
               max_bytes: int | None = None, tmp_ttl_s: float = TMP_TTL_S,
-              dry_run: bool = False) -> dict:
+              keep_latest_only: bool = False, dry_run: bool = False) -> dict:
         """Reclaim disk: stale format versions, crash litter, and --
         when ``max_entries``/``max_bytes`` are set -- least-recently-used
         current entries (by segment atime, falling back to mtime).
+
+        ``keep_latest_only`` additionally drops *superseded* versions:
+        when several entries share one city identity (city, seed, scale,
+        LDA iterations) but differ in dataset content hash -- live
+        mutations write each epoch back under a new hash -- only the
+        most recently *written* survives (segment mtime; atime is
+        deliberately ignored, a stale epoch recently read is still
+        stale).  Unreadable manifests are left alone: "cannot group"
+        must not escalate to "delete".
 
         Returns a JSON-ready report of what was (or would be) removed.
         Never touches the entry another process is mid-way through
@@ -581,6 +590,29 @@ class AssetStore:
                 last_used = 0.0
             current.append((last_used, _tree_bytes(entry), name))
 
+        superseded: list[str] = []
+        if keep_latest_only:
+            groups: dict[tuple, list[tuple[float, str]]] = {}
+            for _, _, name in current:
+                entry = self.root / name
+                try:
+                    key = self._manifest(entry, None)["key"]
+                except StoreCorruption:
+                    continue
+                ident = (key.get("city"), key.get("seed"),
+                         key.get("scale"), key.get("lda_iterations"))
+                try:
+                    written = (entry / _SEGMENT).stat().st_mtime
+                except OSError:
+                    written = 0.0
+                groups.setdefault(ident, []).append((written, name))
+            for versions in groups.values():
+                versions.sort()  # oldest write first; name breaks ties
+                superseded.extend(name for _, name in versions[:-1])
+            superseded.sort()
+            dropped = set(superseded)
+            current = [item for item in current if item[2] not in dropped]
+
         current.sort()  # oldest first
         lru: list[str] = []
         kept = len(current)
@@ -595,14 +627,16 @@ class AssetStore:
             kept_bytes -= size
 
         freed = 0
-        for name in stale + lru:
+        removed = stale + superseded + lru
+        for name in removed:
             freed += _tree_bytes(self.root / name)
             if not dry_run:
                 shutil.rmtree(self.root / name, ignore_errors=True)
         tmp = self.reap_tmp(tmp_ttl_s, dry_run=dry_run)
-        if (stale or lru) and not dry_run:
-            self._count("pruned", len(stale) + len(lru))
-        return {"stale_version": stale, "lru": lru, "tmp": tmp,
+        if removed and not dry_run:
+            self._count("pruned", len(removed))
+        return {"stale_version": stale, "superseded": superseded,
+                "lru": lru, "tmp": tmp,
                 "kept": kept, "kept_bytes": kept_bytes,
                 "freed_bytes": freed, "dry_run": dry_run}
 

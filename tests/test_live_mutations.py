@@ -1,0 +1,143 @@
+"""Typed mutation records: validation, wire round-trip, replayable log."""
+
+import json
+
+import pytest
+
+from repro.data.dataset import POIDataset
+from repro.data.poi import Category
+from repro.live.mutations import (
+    AddPoi,
+    ClosePoi,
+    MutationError,
+    MutationLog,
+    RepricePoi,
+    mutation_from_dict,
+)
+
+from conftest import make_poi
+
+
+@pytest.fixture()
+def city():
+    return POIDataset(
+        [
+            make_poi(1, Category.ACCOMMODATION, poi_type="hotel", cost=80.0),
+            make_poi(2, Category.RESTAURANT, cost=25.0),
+            make_poi(3, Category.RESTAURANT, cost=40.0),
+            make_poi(4, Category.ATTRACTION, poi_type="museum", cost=12.0),
+        ],
+        city="testville",
+    )
+
+
+class TestValidation:
+    def test_close_unknown_poi_rejected(self, city):
+        with pytest.raises(MutationError, match="not in"):
+            ClosePoi(poi_id=99).validate(city)
+
+    def test_close_last_poi_rejected(self):
+        lone = POIDataset([make_poi(1)], city="tiny")
+        with pytest.raises(MutationError, match="last POI"):
+            ClosePoi(poi_id=1).validate(lone)
+
+    def test_reprice_unknown_poi_rejected(self, city):
+        with pytest.raises(MutationError, match="not in"):
+            RepricePoi(poi_id=99, cost=1.0).validate(city)
+
+    def test_reprice_negative_cost_rejected(self):
+        with pytest.raises(MutationError, match="finite"):
+            RepricePoi(poi_id=1, cost=-3.0)
+
+    def test_reprice_nan_cost_rejected(self):
+        with pytest.raises(MutationError, match="finite"):
+            RepricePoi(poi_id=1, cost=float("nan"))
+
+    def test_add_duplicate_id_rejected(self, city):
+        with pytest.raises(MutationError, match="already exists"):
+            AddPoi(poi=make_poi(2)).validate(city)
+
+
+class TestApply:
+    def test_close_removes_and_preserves_order(self, city):
+        after = ClosePoi(poi_id=2).apply(city)
+        assert [p.id for p in after] == [1, 3, 4]
+        assert 2 not in after
+        assert len(city) == 4, "apply must not touch the input dataset"
+
+    def test_reprice_changes_only_cost_in_place(self, city):
+        after = RepricePoi(poi_id=3, cost=99.5).apply(city)
+        assert [p.id for p in after] == [1, 2, 3, 4]
+        assert after[3].cost == 99.5
+        assert after[3].tags == city[3].tags
+        assert city[3].cost == 40.0
+
+    def test_add_appends(self, city):
+        poi = make_poi(10, Category.TRANSPORTATION, poi_type="metro")
+        after = AddPoi(poi=poi).apply(city)
+        assert [p.id for p in after] == [1, 2, 3, 4, 10]
+        assert after.by_category(Category.TRANSPORTATION)[-1].id == 10
+
+    def test_apply_validates(self, city):
+        with pytest.raises(MutationError):
+            ClosePoi(poi_id=99).apply(city)
+
+
+class TestWireForm:
+    @pytest.mark.parametrize("mutation", [
+        ClosePoi(poi_id=7),
+        RepricePoi(poi_id=3, cost=12.25),
+        AddPoi(poi=make_poi(42, Category.ATTRACTION, poi_type="park",
+                            tags=("garden",))),
+    ])
+    def test_json_round_trip(self, mutation):
+        wire = json.loads(json.dumps(mutation.to_dict()))
+        assert mutation_from_dict(wire) == mutation
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MutationError, match="unknown mutation kind"):
+            mutation_from_dict({"kind": "rename_poi", "poi_id": 1})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(MutationError, match="malformed"):
+            mutation_from_dict({"kind": "reprice_poi", "poi_id": 1})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(MutationError, match="must be an object"):
+            mutation_from_dict(["close_poi", 1])
+
+
+class TestMutationLog:
+    def test_sequence_numbers_and_entries(self):
+        log = MutationLog("testville", capacity=8)
+        assert log.append(ClosePoi(poi_id=2)) == 1
+        assert log.append(RepricePoi(poi_id=3, cost=5.0)) == 2
+        assert len(log) == 2
+        assert [m.kind for m in log.entries] == ["close_poi", "reprice_poi"]
+
+    def test_bounded_append_only(self):
+        log = MutationLog("testville", capacity=2)
+        log.append(ClosePoi(poi_id=1))
+        log.append(ClosePoi(poi_id=2))
+        with pytest.raises(MutationError, match="full"):
+            log.append(ClosePoi(poi_id=3))
+        assert len(log) == 2
+
+    def test_replay_is_deterministic(self, city):
+        log = MutationLog("testville")
+        log.append(RepricePoi(poi_id=2, cost=1.0))
+        log.append(ClosePoi(poi_id=4))
+        log.append(AddPoi(poi=make_poi(11, Category.RESTAURANT, cost=3.0)))
+        once, twice = log.replay(city), log.replay(city)
+        assert once.to_json() == twice.to_json()
+        assert [p.id for p in once] == [1, 2, 3, 11]
+        assert once[2].cost == 1.0
+
+    def test_log_round_trips_through_json(self, city):
+        log = MutationLog("testville")
+        log.append(RepricePoi(poi_id=2, cost=1.0))
+        log.append(AddPoi(poi=make_poi(11, Category.RESTAURANT)))
+        wire = json.loads(json.dumps(log.to_dicts()))
+        restored = MutationLog.from_dicts("testville", wire)
+        assert restored.entries == log.entries
+        assert restored.replay(city).to_json() == log.replay(city).to_json()

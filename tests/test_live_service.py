@@ -1,0 +1,302 @@
+"""Live mutations through the serving tier (``repro.live`` + service).
+
+The coherence contract under test: after a mutation bumps a city's
+epoch, **no request is ever served from pre-mutation state**.  Cache
+entries stop matching (the key carries the epoch), open sessions are
+replayed onto the new epoch or fail with the structured
+``stale_epoch`` code, byte accounting tracks patched array growth, and
+an attached store receives the new version under its new dataset
+content hash.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from conftest import make_poi
+from repro.live import AddPoi, ClosePoi, MutationError, RepricePoi
+from repro.service import (
+    BuildRequest,
+    CityRegistry,
+    CustomizeRequest,
+    GroupSpec,
+    PackageService,
+)
+from repro.service.engine import StaleEpochError
+from repro.service.loadgen import LoadgenConfig, build_workload, run_sync
+from repro.service.shard import ShardCluster, ShardConfig
+from repro.store import AssetStore
+
+
+@pytest.fixture()
+def registry(app):
+    """A fresh registry per test: epochs and mutation logs must not
+    leak between tests.  Registration reuses the session's pre-fitted
+    Paris (no extra LDA fit), but copies the index: AddPoi extends it
+    in place, and the session-scoped one must stay pristine."""
+    registry = CityRegistry(seed=7, scale=0.4, lda_iterations=30)
+    registry.register(app.dataset, copy.deepcopy(app.item_index),
+                      name="paris")
+    return registry
+
+
+@pytest.fixture()
+def service(registry):
+    return PackageService(registry, cache_capacity=32)
+
+
+@pytest.fixture()
+def spec_request():
+    return BuildRequest(city="paris",
+                        group_spec=GroupSpec(size=4, uniform=True, seed=5))
+
+
+def _any_poi(registry):
+    return next(iter(registry.dataset("paris")))
+
+
+class TestEpochInvalidation:
+    def test_mutation_invalidates_warm_cache(self, registry, service,
+                                             spec_request):
+        cold = service.build(spec_request)
+        warm = service.build(spec_request)
+        assert not cold.cached and warm.cached
+
+        poi = _any_poi(registry)
+        receipt = registry.mutate(
+            "paris", RepricePoi(poi_id=poi.id, cost=poi.cost + 1.0))
+        assert receipt["epoch"] == 1 and registry.epoch("paris") == 1
+
+        # Structural miss: the cache key carries the epoch, so the
+        # pre-mutation entry simply stops matching -- no purge ran.
+        after = service.build(spec_request)
+        assert not after.cached
+        assert service.build(spec_request).cached  # new epoch re-warms
+
+    def test_no_stale_reads_after_reprice(self, registry, service,
+                                          spec_request):
+        service.build(spec_request)
+        poi = _any_poi(registry)
+        registry.mutate("paris",
+                        RepricePoi(poi_id=poi.id, cost=poi.cost + 0.5))
+        current = registry.dataset("paris")
+        assert current[poi.id].cost == pytest.approx(poi.cost + 0.5)
+
+        after = service.build(spec_request)
+        assert after.ok
+        # Every served POI carries the *current* dataset's cost: the
+        # response was derived from post-mutation state, nothing else.
+        for ci in after.package.composite_items:
+            for served in ci.pois:
+                assert served.cost == current[served.id].cost
+
+
+class TestSessionReplay:
+    def _open_and_remove(self, service, spec_request):
+        opened = service.open_session(spec_request)
+        assert opened.ok
+        victim = opened.package.composite_items[0].pois[-1].id
+        removed = service.apply(CustomizeRequest(
+            session_id=opened.session_id, op="remove", ci_index=0,
+            poi_id=victim))
+        assert removed.ok
+        return opened.session_id, victim, removed
+
+    def test_session_replays_over_a_compatible_mutation(self, registry,
+                                                        service,
+                                                        spec_request):
+        session_id, victim, removed = self._open_and_remove(service,
+                                                            spec_request)
+        # Reprice to the *same* cost: the epoch bumps but the rebuilt
+        # package is identical, so the logged REMOVE replays cleanly.
+        poi = _any_poi(registry)
+        registry.mutate("paris", RepricePoi(poi_id=poi.id, cost=poi.cost))
+
+        second = removed.package.composite_items[0].pois[-1].id
+        response = service.apply(CustomizeRequest(
+            session_id=session_id, op="remove", ci_index=0,
+            poi_id=second))
+        assert response.ok
+        pois = {p.id for p in response.package.composite_items[0].pois}
+        assert victim not in pois and second not in pois
+        assert service.live_stats()["sessions_replayed"] == 1
+        assert service.live_stats()["sessions_stale"] == 0
+
+        # The session now rides the new epoch: no second replay.
+        service.apply(CustomizeRequest(
+            session_id=session_id, op="remove", ci_index=1,
+            poi_id=response.package.composite_items[1].pois[-1].id))
+        assert service.live_stats()["sessions_replayed"] == 1
+
+    def test_unreplayable_session_gets_stale_epoch_code(self, registry,
+                                                        service,
+                                                        spec_request):
+        session_id, victim, removed = self._open_and_remove(service,
+                                                            spec_request)
+        # Closing the removed POI makes the edit log unreplayable: the
+        # epoch-1 rebuild cannot contain the victim, so the logged
+        # REMOVE no longer applies.
+        registry.mutate("paris", ClosePoi(poi_id=victim))
+
+        second = removed.package.composite_items[0].pois[-1].id
+        response = service.apply(CustomizeRequest(
+            session_id=session_id, op="remove", ci_index=0,
+            poi_id=second))
+        assert not response.ok
+        assert response.code == "stale_epoch"
+        assert service.live_stats()["sessions_stale"] == 1
+
+        # refine() on the same pinned session surfaces the same state.
+        with pytest.raises(StaleEpochError):
+            service.refine(session_id)
+
+
+class TestMutateWireOp:
+    def test_mutate_dispatch_roundtrip(self, service):
+        poi = _any_poi(service.registry)
+        out = service.dispatch("mutate", {
+            "city": "paris",
+            "mutation": {"kind": "reprice_poi", "poi_id": poi.id,
+                         "cost": round(poi.cost + 0.75, 4)},
+            "request_id": "m-1",
+        })
+        assert out.get("error") is None
+        assert out["epoch"] == 1 and out["seq"] == 1
+        assert out["patched"] is True and out["patch_ms"] >= 0.0
+        assert out["request_id"] == "m-1" and out["latency_ms"] > 0
+
+        stats = service.stats()
+        assert stats["live"]["mutations_applied"] == 1
+        assert stats["live"]["full_rebuilds"] == 0
+        assert stats["registry"]["epochs"] == {"paris": 1}
+
+    def test_mutate_error_responses(self, service):
+        unknown_poi = service.dispatch("mutate", {
+            "city": "paris",
+            "mutation": {"kind": "reprice_poi", "poi_id": 10 ** 9,
+                         "cost": 1.0},
+        })
+        assert unknown_poi["error"] and unknown_poi["code"] == "invalid"
+
+        malformed = service.dispatch("mutate", {
+            "city": "paris", "mutation": {"kind": "teleport_poi"},
+        })
+        assert malformed["error"] and malformed["code"] == "invalid"
+
+        no_city = service.dispatch("mutate", {
+            "mutation": {"kind": "reprice_poi", "poi_id": 1, "cost": 1.0},
+        })
+        assert no_city["error"] is not None
+        assert service.live_stats()["mutations_applied"] == 0
+
+    def test_cluster_routes_mutate_and_merges_live_stats(self, app):
+        registry = CityRegistry(seed=7, scale=0.4, lda_iterations=30)
+        registry.register(app.dataset, copy.deepcopy(app.item_index),
+                          name="paris")
+        cluster = ShardCluster(
+            shards=2, config=ShardConfig(scale=0.4),
+            cities=["paris", "barcelona"], use_processes=False,
+            service_factory=lambda i: PackageService(registry,
+                                                     cache_capacity=16))
+        try:
+            poi = next(iter(registry.dataset("paris")))
+            out = cluster.dispatch("mutate", {
+                "city": "paris",
+                "mutation": {"kind": "reprice_poi", "poi_id": poi.id,
+                             "cost": round(poi.cost + 0.5, 4)},
+            })
+            assert out.get("error") is None and out["epoch"] == 1
+            merged = cluster.stats()
+            assert merged["live"]["mutations_applied"] == 1
+        finally:
+            cluster.shutdown()
+
+
+class TestByteAccounting:
+    def test_install_reestimates_bytes_after_growth(self, registry):
+        registry.entry("paris")
+        before = registry.stats()["bytes_by_city"]["paris"]
+        next_id = max(p.id for p in registry.dataset("paris")) + 1
+        for i in range(5):
+            registry.mutate("paris", AddPoi(poi=make_poi(
+                next_id + i, lat=48.85 + 0.001 * i, lon=2.35 + 0.001 * i,
+                cost=2.0 + i)))
+        grown = registry.stats()["bytes_by_city"]["paris"]
+        assert grown > before
+
+        registry.mutate("paris", ClosePoi(poi_id=next_id))
+        assert registry.stats()["bytes_by_city"]["paris"] < grown
+
+    def test_mutation_log_journals_and_replays(self, registry):
+        poi = _any_poi(registry)
+        base = registry.dataset("paris")
+        registry.mutate("paris",
+                        RepricePoi(poi_id=poi.id, cost=poi.cost + 2.0))
+        registry.mutate("paris", ClosePoi(poi_id=poi.id))
+        log = registry.mutation_log("paris")
+        assert [m.kind for m in log.entries] == ["reprice_poi", "close_poi"]
+        replayed = log.replay(base)
+        assert replayed.to_json() == registry.dataset("paris").to_json()
+
+
+class TestStoreWriteback:
+    def test_mutation_writes_back_under_new_hash(self, app, tmp_path):
+        store = AssetStore(tmp_path / "assets")
+        registry = CityRegistry(seed=7, scale=0.4, lda_iterations=30,
+                                store=store)
+        registry.register(app.dataset, copy.deepcopy(app.item_index),
+                          name="paris")
+        poi = next(iter(registry.dataset("paris")))
+        receipt = registry.mutate(
+            "paris", RepricePoi(poi_id=poi.id, cost=poi.cost + 0.5))
+        assert receipt["dataset_hash"]
+        assert any(f"-d{receipt['dataset_hash'][:8]}" in name
+                   for name in store.keys())
+        loaded = store.load("paris", seed=7, scale=0.4, lda_iterations=30,
+                            dataset_hash=receipt["dataset_hash"])
+        assert loaded is not None
+        assert loaded.dataset[poi.id].cost == pytest.approx(poi.cost + 0.5)
+
+
+class TestLoadgenLive:
+    def test_run_sync_mutate_mix_reports_epoch_churn(self, service):
+        config = LoadgenConfig(cities=("paris",), actions=12, seed=3,
+                               mix=(("warm", 0.5), ("mutate", 0.5)))
+        workload = build_workload(config)
+        assert any(action.kind == "mutate" for action in workload)
+
+        report = run_sync(service.dispatch, workload)
+        assert report.errors == 0 and report.failed_connections == 0
+        assert report.mutations_sent > 0
+        # Every applied mutation is one epoch bump, all caused (and
+        # observed) by this run.
+        assert report.epochs_seen["paris"] == report.mutations_sent
+        assert report.epoch_bumps == report.mutations_sent
+        assert "epoch bump(s) observed" in report.summary()
+        assert service.live_stats()["mutations_applied"] \
+            == report.mutations_sent
+
+    def test_mutate_weight_requires_known_kind(self):
+        with pytest.raises(ValueError, match="unknown traffic kinds"):
+            LoadgenConfig(mix=(("mutte", 1.0),))
+        config = LoadgenConfig(mix=(("mutate", 1.0),), actions=3)
+        assert all(a.kind == "mutate" for a in build_workload(config))
+
+
+def test_full_mutation_log_is_an_invalid_request(registry, service):
+    """A journal at capacity refuses further mutations end to end."""
+    registry.mutation_log_capacity = 2
+    poi = _any_poi(registry)
+    for _ in range(2):
+        registry.mutate("paris",
+                        RepricePoi(poi_id=poi.id, cost=poi.cost + 1.0))
+    with pytest.raises(MutationError, match="full"):
+        registry.mutate("paris",
+                        RepricePoi(poi_id=poi.id, cost=poi.cost + 3.0))
+    out = service.dispatch("mutate", {
+        "city": "paris",
+        "mutation": {"kind": "reprice_poi", "poi_id": poi.id, "cost": 9.0},
+    })
+    assert out["error"] and out["code"] == "invalid"
