@@ -231,13 +231,23 @@ class MutationLog:
     def entries(self) -> tuple[Mutation, ...]:
         return tuple(self._entries)
 
-    def append(self, mutation: Mutation) -> int:
-        """Append one record; returns its 1-based sequence number."""
+    def raise_if_full(self) -> None:
+        """Raise :class:`MutationError` when the journal is at capacity.
+
+        :meth:`append` enforces this too, but a caller with side
+        effects between deciding to mutate and appending (e.g. the
+        registry's in-place item-index extension and array patch)
+        checks up front so a full log rejects before any work is done.
+        """
         if len(self._entries) >= self.capacity:
             raise MutationError(
                 f"mutation log for {self.city!r} is full "
                 f"({self.capacity} entries); re-register the city to compact"
             )
+
+    def append(self, mutation: Mutation) -> int:
+        """Append one record; returns its 1-based sequence number."""
+        self.raise_if_full()
         self._entries.append(mutation)
         return len(self._entries)
 

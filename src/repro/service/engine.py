@@ -419,6 +419,16 @@ class PackageService:
         closed -- the session state is left untouched and
         :class:`StaleEpochError` propagates as the structured
         ``stale_epoch`` wire code.
+
+        Freshness here is *snapshot* semantics, not a transaction:
+        this check is not serialized against
+        :meth:`~repro.service.registry.CityRegistry.mutate`, so a
+        request racing a mutation commit may be served from the epoch
+        that was current when the check ran -- one last pre-bump read,
+        exactly as if the request had arrived a moment earlier.  What
+        the epoch machinery rules out is *structural* staleness: state
+        derived from one epoch's dataset being matched against
+        another's.
         """
         current = self.registry.entry(session.entry.name)
         if current.epoch == session.epoch:

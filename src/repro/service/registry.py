@@ -137,13 +137,17 @@ class CityRegistry:
         self._profiles: OrderedDict[tuple, GroupProfile] = OrderedDict()
         self._lock = Lock()
         self._city_locks: dict[str, Lock] = {}
-        # Epochs outlive entries on purpose: an evicted-then-reloaded
-        # city keeps its version, so sessions pinned to a pre-eviction
-        # epoch can never spuriously match a post-eviction entry.
+        # Epochs and mutation logs outlive entries on purpose: an
+        # evicted-then-reloaded city keeps its version, and the reload
+        # replays the journal so the entry served under that version is
+        # the dataset the version promises (see _replay_log).  Names
+        # ever installed are remembered too, so re-registering an
+        # evicted city still invalidates epoch-keyed state.
         self._epochs: dict[str, int] = {}
         self._mutation_logs: dict[str, MutationLog] = {}
+        self._ever_installed: set[str] = set()
         self._counters = {"fits": 0, "store_hits": 0, "store_misses": 0,
-                          "evictions": 0, "mutations": 0}
+                          "evictions": 0, "mutations": 0, "log_replays": 0}
 
     #: Bound on cached spec resolutions; unlike city entries (at most
     #: eight templates) distinct specs are client-controlled, so the
@@ -183,6 +187,7 @@ class CityRegistry:
         with self._lock:
             self._entries[city] = entry
             self._entries.move_to_end(city)
+            self._ever_installed.add(city)
             self._entry_bytes[city] = entry.estimated_bytes()
             while (self.max_cities is not None
                    and len(self._entries) > self.max_cities):
@@ -218,10 +223,16 @@ class CityRegistry:
         try:
             with self._lock_for(city):
                 with self._lock:
-                    if city in self._entries:
+                    if (city in self._ever_installed
+                            or city in self._epochs
+                            or city in self._mutation_logs):
                         # Re-registration replaces the serving dataset:
                         # the new base compacts any mutation history and
                         # must invalidate epoch-keyed caches/sessions.
+                        # Residency is not the test -- an *evicted* city
+                        # may still have sessions and cache entries
+                        # pinned to its old epochs, and a mutation log
+                        # that does not describe the new base.
                         self._epochs[city] = self._epochs.get(city, 0) + 1
                         self._mutation_logs.pop(city, None)
                 entry = None
@@ -352,6 +363,7 @@ class CityRegistry:
             if existing is not None:  # lost the race
                 self._entries.move_to_end(city)
                 return existing
+            log = self._mutation_logs.get(city)
         entry = self._store_load(city)
         if entry is None:
             with stage("city_generate", city=city):
@@ -359,7 +371,57 @@ class CityRegistry:
                                         scale=self.scale)
             entry = self._make_entry(city, dataset)
             self._store_save(city, entry)
+        if log is not None and len(log) > 0:
+            # Both paths above recover the pre-mutation *base*: the
+            # store keys mutated versions only under their content
+            # hash, and generation knows nothing of mutations.  A
+            # mutated city evicted and reloaded must replay its
+            # journal, or the persisted epoch would be stamped onto
+            # base data -- the structural stale read the epoch
+            # mechanism exists to rule out.
+            entry = self._replay_log(city, entry, log)
         self._install(city, entry)
+        return entry
+
+    def _replay_log(self, city: str, base: CityEntry,
+                    log: MutationLog) -> CityEntry:
+        """Reproduce a mutated city's current dataset after eviction
+        (called under the city's lock).
+
+        ``(base, log)`` deterministically yields the dataset the
+        current epoch promises.  The mutated version :meth:`mutate`
+        wrote back under its content hash is preferred when the store
+        still holds a loadable copy; otherwise added POIs are folded
+        into the item index again (same fold-in ``mutate`` performed
+        live) and the arrays rebuilt.  If the journal no longer
+        applies to the reloaded base, the epoch is bumped and the log
+        dropped: an epoch whose dataset cannot be reproduced is
+        retired, never served with mismatched data.
+        """
+        try:
+            dataset = log.replay(base.dataset)
+        except MutationError:
+            with self._lock:
+                self._epochs[city] = self._epochs.get(city, 0) + 1
+                self._mutation_logs.pop(city, None)
+            return self._assemble_entry(city, base.dataset,
+                                        base.item_index, base.arrays)
+        self._count("log_replays")
+        dataset_hash = None
+        if self.store is not None:
+            dataset_hash = dataset_content_hash(dataset)
+            hydrated = self._store_load(city, dataset_hash=dataset_hash)
+            if hydrated is not None:
+                return hydrated
+        item_index = base.item_index
+        for mutation in log.entries:
+            if isinstance(mutation, AddPoi):
+                item_index.extend_with(mutation.poi, seed=self.seed)
+        with stage("arrays_build", city=city):
+            arrays = CityArrays.of(dataset, item_index)
+        entry = self._assemble_entry(city, dataset, item_index, arrays)
+        if dataset_hash is not None:
+            self._store_save(city, entry, dataset_hash=dataset_hash)
         return entry
 
     # -- live mutations ------------------------------------------------------
@@ -410,6 +472,11 @@ class CityRegistry:
                         log = self._mutation_logs[city] = MutationLog(
                             city, capacity=self.mutation_log_capacity
                         )
+                # A full journal must reject *before* the in-place
+                # item-index extension and the patch/rebuild work, not
+                # at the append below -- by then the shared index has
+                # already been mutated for an epoch that never happens.
+                log.raise_if_full()
                 new_dataset = mutation.apply(entry.dataset)
                 if isinstance(mutation, AddPoi):
                     # Embed the new POI in the already-fitted coordinate

@@ -1,7 +1,11 @@
 """Live mutations through the serving tier (``repro.live`` + service).
 
-The coherence contract under test: after a mutation bumps a city's
-epoch, **no request is ever served from pre-mutation state**.  Cache
+The coherence contract under test: once a mutation has bumped a
+city's epoch, **no subsequent request is served from pre-mutation
+state**.  (Reads are epoch snapshots, not transactions: a request
+racing the commit itself may observe the prior epoch once, as if it
+had arrived a moment earlier -- see ``PackageService._ensure_fresh``.)
+Cache
 entries stop matching (the key carries the epoch), open sessions are
 replayed onto the new epoch or fail with the structured
 ``stale_epoch`` code, byte accounting tracks patched array growth, and
@@ -239,6 +243,69 @@ class TestByteAccounting:
         assert [m.kind for m in log.entries] == ["reprice_poi", "close_poi"]
         replayed = log.replay(base)
         assert replayed.to_json() == registry.dataset("paris").to_json()
+
+
+class TestEvictionReload:
+    """A mutated city must survive LRU eviction: the reload replays
+    the journal (or hydrates the mutated version from the store), so
+    the persisted epoch is never stamped onto pre-mutation data."""
+
+    FAST = dict(seed=11, scale=0.2, lda_iterations=8)
+
+    def _mutate_twice(self, registry):
+        base = registry.entry("paris").dataset
+        poi = next(iter(base))
+        added_id = max(p.id for p in base) + 1
+        registry.mutate("paris",
+                        RepricePoi(poi_id=poi.id, cost=poi.cost + 2.0))
+        registry.mutate("paris", AddPoi(poi=make_poi(
+            added_id, lat=48.86, lon=2.34, cost=3.0)))
+        return poi, added_id, registry.dataset("paris").to_json()
+
+    def test_reload_without_store_replays_the_journal(self):
+        registry = CityRegistry(max_cities=1, **self.FAST)
+        poi, added_id, expected = self._mutate_twice(registry)
+        registry.entry("rome")  # max_cities=1: evicts mutated paris
+        assert registry.loaded() == ("rome",)
+
+        reloaded = registry.entry("paris")
+        assert reloaded.epoch == 2 == registry.epoch("paris")
+        assert reloaded.dataset.to_json() == expected
+        assert reloaded.dataset[poi.id].cost == pytest.approx(poi.cost + 2.0)
+        assert added_id in reloaded.dataset
+        assert registry.stats()["counters"]["log_replays"] == 1
+
+    def test_reload_with_store_reproduces_the_mutated_dataset(self,
+                                                              tmp_path):
+        registry = CityRegistry(store=AssetStore(tmp_path / "assets"),
+                                max_cities=1, **self.FAST)
+        poi, added_id, expected = self._mutate_twice(registry)
+        registry.entry("rome")
+        reloaded = registry.entry("paris")
+        assert reloaded.epoch == 2
+        assert reloaded.dataset.to_json() == expected
+
+    def test_reregister_after_eviction_bumps_epoch(self, app):
+        registry = CityRegistry(seed=7, scale=0.4, lda_iterations=30,
+                                max_cities=1)
+        registry.register(app.dataset, copy.deepcopy(app.item_index),
+                          name="paris")
+        poi = next(iter(registry.dataset("paris")))
+        registry.mutate("paris",
+                        RepricePoi(poi_id=poi.id, cost=poi.cost + 1.0))
+        assert registry.epoch("paris") == 1
+        registry.register(app.dataset, copy.deepcopy(app.item_index),
+                          name="other")  # evicts mutated paris
+        assert registry.loaded() == ("other",)
+
+        # The new base under the old name is a *different* dataset:
+        # epoch-pinned state from the mutated epoch 1 must not match,
+        # and the stale journal must not describe the new base.
+        registry.register(app.dataset, copy.deepcopy(app.item_index),
+                          name="paris")
+        assert registry.epoch("paris") == 2
+        assert registry.mutation_log("paris") is None
+        assert registry.entry("paris").epoch == 2
 
 
 class TestStoreWriteback:

@@ -527,14 +527,14 @@ class TestRegistryIntegration:
         entry = cold.entry("paris")
         counters = cold.stats()["counters"]
         assert counters == {"fits": 1, "store_hits": 0, "store_misses": 1,
-                            "evictions": 0, "mutations": 0}
+                            "evictions": 0, "mutations": 0, "log_replays": 0}
         assert store.contains("paris", **FAST)
 
         warm = CityRegistry(store=store, **FAST)
         hydrated = warm.entry("paris")
         counters = warm.stats()["counters"]
         assert counters == {"fits": 0, "store_hits": 1, "store_misses": 0,
-                            "evictions": 0, "mutations": 0}
+                            "evictions": 0, "mutations": 0, "log_replays": 0}
         profile = GroupGenerator(entry.schema, seed=9).uniform_group(5).profile()
         assert _package_bytes(entry.builder.build(profile, DEFAULT_QUERY)) \
             == _package_bytes(hydrated.builder.build(profile, DEFAULT_QUERY))
